@@ -1,0 +1,375 @@
+(* Benchmark harness regenerating every experiment in DESIGN.md §4.
+
+   The paper's evaluation is qualitative (§V: "we intentionally do not
+   provide any performance numbers here"), so each group reproduces a
+   CLAIM's shape rather than an absolute number:
+
+     C1  near-linear scaling of auto-parallelized with-loops (§V ¶1)
+     C2  with-loop/assignment fusion vs library-style temp+copy (§III-A5)
+     C3  slice-copy elimination (§III-A5)
+     C4  programmer-directed transformation variants (§V)
+     C5  enhanced fork-join pool vs naive spawn-per-region (§III-C)
+     C6  refcounting overhead and allocator behaviour (§III-B/C)
+     C7  composition cost and the composability analyses (§VI)
+
+   Micro-kernels are measured with Bechamel (OLS over the monotonic
+   clock); whole-program runs with repeated wall-clock medians.  Results
+   are summarised against the paper's claims in EXPERIMENTS.md. *)
+
+open Bechamel
+open Toolkit
+module Nd = Runtime.Ndarray
+
+let cores = Domain.recommended_domain_count ()
+
+(* --- measurement helpers ----------------------------------------------------- *)
+
+let bechamel_group name (tests : Test.t list) =
+  Fmt.pr "@.--- %s (Bechamel OLS, monotonic clock) ---@." name;
+  let grouped = Test.make_grouped ~name tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun k v acc ->
+        let est =
+          match Analyze.OLS.estimates v with Some [ e ] -> e | _ -> nan
+        in
+        (k, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (k, ns) ->
+      if ns >= 1e6 then Fmt.pr "  %-48s %10.3f ms/run@." k (ns /. 1e6)
+      else if ns >= 1e3 then Fmt.pr "  %-48s %10.3f us/run@." k (ns /. 1e3)
+      else Fmt.pr "  %-48s %10.1f ns/run@." k ns)
+    rows;
+  rows
+
+(* median wall-clock of [reps] runs *)
+let wall ?(reps = 3) f =
+  let times =
+    List.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+    |> List.sort compare
+  in
+  List.nth times (reps / 2)
+
+(* --- shared setup ---------------------------------------------------------------- *)
+
+let c_full = Driver.compose [ Driver.matrix; Driver.transform; Driver.refptr ]
+let c_norc = Driver.compose [ Driver.matrix; Driver.transform ]
+
+let with_input cube f =
+  let dir = Filename.temp_file "mmbench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Interp.Eval.provide_input ~dir "ssh.data" cube;
+  f dir
+
+let run_prog ?pool ?fuse ?auto_par ?optimize ~c ~dir src =
+  match Driver.run ~dir ?pool ?fuse ?auto_par ?optimize c src [] with
+  | Driver.Ok_ _ -> ()
+  | Driver.Failed ds ->
+      Fmt.epr "bench program failed: %s@." (Driver.diags_to_string ds);
+      exit 1
+
+let cube ~m ~n ~p =
+  Nd.init_float [| m; n; p |] (fun ix ->
+      float_of_int ((7 * ix.(0)) + (3 * ix.(1)) + ix.(2)) /. 97.)
+
+(* --- C1: scaling of auto-parallelized with-loops ----------------------------------- *)
+
+let bench_scaling () =
+  Fmt.pr "@.=== C1: with-loop scaling on the fork-join pool (§V ¶1) ===@.";
+  Fmt.pr "machine cores: %d  (near-linear speedup is only observable up to \
+          the core count; the paper used 2 x 6-core)@."
+    cores;
+  let data = cube ~m:48 ~n:48 ~p:24 in
+  let threads = [ 1; 2; 4; 8 ] in
+  let base = ref 0. in
+  Fmt.pr "  %8s %12s %9s@." "threads" "wall (ms)" "speedup";
+  List.iter
+    (fun t ->
+      let secs =
+        if t = 1 then
+          with_input data (fun dir ->
+              wall (fun () ->
+                  run_prog ~c:c_full ~dir ~auto_par:true
+                    Eddy.Programs.fig1_temporal_mean))
+        else
+          Runtime.Pool.with_pool t (fun pool ->
+              with_input data (fun dir ->
+                  wall (fun () ->
+                      run_prog ~c:c_full ~dir ~pool ~auto_par:true
+                        Eddy.Programs.fig1_temporal_mean)))
+      in
+      if t = 1 then base := secs;
+      Fmt.pr "  %8d %12.1f %9.2fx@." t (secs *. 1000.) (!base /. secs))
+    threads
+
+(* --- C2: fusion vs library-style temp + copy ----------------------------------------- *)
+
+let bench_fusion () =
+  Fmt.pr "@.=== C2: with-loop/assignment fusion (§III-A5) ===@.";
+  Fmt.pr "  %-14s %12s %12s %8s@." "size" "fused(ms)" "library(ms)" "ratio";
+  List.iter
+    (fun (m, n, p) ->
+      let data = cube ~m ~n ~p in
+      let fused =
+        with_input data (fun dir ->
+            wall (fun () ->
+                run_prog ~c:c_full ~dir ~fuse:true
+                  Eddy.Programs.fig1_temporal_mean))
+      in
+      let library =
+        with_input data (fun dir ->
+            wall (fun () ->
+                run_prog ~c:c_full ~dir ~fuse:false
+                  Eddy.Programs.fig1_temporal_mean))
+      in
+      Fmt.pr "  %4dx%4dx%3d %12.1f %12.1f %8.2fx@." m n p (fused *. 1000.)
+        (library *. 1000.) (library /. fused))
+    (* small p makes the library's result copy large relative to the
+       fold work, which is where fusion matters *)
+    [ (64, 64, 2); (96, 96, 2); (64, 64, 16) ]
+
+(* --- C3: slice-copy elimination -------------------------------------------------------- *)
+
+let bench_slice_elim () =
+  Fmt.pr "@.=== C3: slice-copy elimination (§III-A5) ===@.";
+  Fmt.pr "  %-14s %14s %14s %11s %11s@." "size" "optimized(ms)" "naive(ms)"
+    "allocs opt" "allocs no";
+  List.iter
+    (fun (m, n, p) ->
+      let data = cube ~m ~n ~p in
+      let measure ~optimize =
+        with_input data (fun dir ->
+            Runtime.Rc.reset ();
+            let t =
+              wall ~reps:3 (fun () ->
+                  run_prog ~c:c_full ~dir ~optimize
+                    Eddy.Programs.fig1_with_slice_copy)
+            in
+            (t, (Runtime.Rc.stats ()).Runtime.Rc.allocs))
+      in
+      let t_opt, a_opt = measure ~optimize:true in
+      let t_no, a_no = measure ~optimize:false in
+      Fmt.pr "  %4dx%4dx%3d %14.1f %14.1f %11d %11d@." m n p (t_opt *. 1000.)
+        (t_no *. 1000.) a_opt a_no)
+    [ (16, 16, 16); (32, 32, 24) ]
+
+(* --- C4: transformation variants (§V) --------------------------------------------------- *)
+
+let bench_transform_variants () =
+  Fmt.pr "@.=== C4: programmer-directed transformation variants (§V) ===@.";
+  let data = cube ~m:48 ~n:64 ~p:32 in
+  let variants =
+    [
+      ("baseline (Fig 3)", Eddy.Programs.fig1_temporal_mean, 1);
+      ( "split j by 4 (Fig 10)",
+        Eddy.Programs.fig9_with_script "split j by 4, jin, jout",
+        1 );
+      ( "split + vectorize (Fig 11)",
+        Eddy.Programs.fig9_with_script
+          "split j by 4, jin, jout. vectorize jin",
+        1 );
+      ("tile i,j by 8", Eddy.Programs.fig9_with_script "tile i, j by 8", 1);
+      ( "interchange i,j",
+        Eddy.Programs.fig9_with_script "interchange i, j",
+        1 );
+      ("full Fig 9 script (2 threads)", Eddy.Programs.fig9_transformed, 2);
+      ( "split k + unroll kin by 4",
+        Eddy.Programs.fig9_with_script
+          "split k by 4, kin, kout. unroll kin by 4",
+        1 );
+    ]
+  in
+  Fmt.pr "  %-32s %12s@." "variant" "wall (ms)";
+  List.iter
+    (fun (label, src, threads) ->
+      let secs =
+        if threads > 1 then
+          Runtime.Pool.with_pool threads (fun pool ->
+              with_input data (fun dir ->
+                  wall (fun () -> run_prog ~c:c_full ~dir ~pool src)))
+        else
+          with_input data (fun dir ->
+              wall (fun () -> run_prog ~c:c_full ~dir src))
+      in
+      Fmt.pr "  %-32s %12.1f@." label (secs *. 1000.))
+    variants
+
+(* --- C5: enhanced fork-join vs naive spawn-per-region ------------------------------------ *)
+
+let bench_forkjoin () =
+  Fmt.pr "@.=== C5: enhanced fork-join (§III-C) ===@.";
+  let regions = 200 and work = 2_000 in
+  let sink = Array.make work 0 in
+  let body i = sink.(i) <- sink.(i) + 1 in
+  let pool_time t =
+    Runtime.Pool.with_pool t (fun pool ->
+        wall (fun () ->
+            for _ = 1 to regions do
+              Runtime.Pool.parallel_for pool 0 work body
+            done))
+  in
+  let naive_time t =
+    wall ~reps:1 (fun () ->
+        for _ = 1 to regions do
+          Runtime.Pool.naive_parallel_for t 0 work body
+        done)
+  in
+  Fmt.pr "  %d parallel regions of %d iterations each:@." regions work;
+  Fmt.pr "  %8s %12s %22s %8s@." "threads" "pool (ms)"
+    "spawn-per-region (ms)" "ratio";
+  List.iter
+    (fun t ->
+      let p = pool_time t and n = naive_time t in
+      Fmt.pr "  %8d %12.1f %22.1f %8.1fx@." t (p *. 1000.) (n *. 1000.)
+        (n /. p))
+    [ 2; 4 ]
+
+(* --- C6: refcounting overhead -------------------------------------------------------------- *)
+
+let bench_refcount () =
+  Fmt.pr "@.=== C6: reference counting (§III-B/C) ===@.";
+  let data = cube ~m:32 ~n:32 ~p:16 in
+  let with_rc =
+    with_input data (fun dir ->
+        wall (fun () ->
+            run_prog ~c:c_full ~dir Eddy.Programs.fig1_temporal_mean))
+  in
+  let without_rc =
+    with_input data (fun dir ->
+        wall (fun () ->
+            run_prog ~c:c_norc ~dir Eddy.Programs.fig1_temporal_mean))
+  in
+  Fmt.pr "  Fig 1 workload: rc on %.1f ms, rc off %.1f ms (overhead %+.1f%%)@."
+    (with_rc *. 1000.)
+    (without_rc *. 1000.)
+    (((with_rc /. without_rc) -. 1.) *. 100.);
+  (* §III-C: "most allocations made are relatively infrequent and are
+     large" — hot-path costs of the rc primitives: *)
+  ignore
+    (bechamel_group "rc primitives"
+       [
+         Test.make ~name:"alloc+release 4KiB payload"
+           (Staged.stage (fun () ->
+                let cell = Runtime.Rc.alloc ~bytes:4096 (Array.make 512 0.) in
+                Runtime.Rc.decr_ cell));
+         Test.make ~name:"inc/dec pair on a live cell"
+           (let cell = Runtime.Rc.alloc ~bytes:0 () in
+            Staged.stage (fun () ->
+                Runtime.Rc.incr_ cell;
+                Runtime.Rc.decr_ cell));
+       ])
+
+(* --- C7: composition cost and analyses (§VI) ------------------------------------------------ *)
+
+let bench_composition () =
+  Fmt.pr "@.=== C7: grammar composition and composability analyses (§VI) ===@.";
+  let time_of f = wall ~reps:3 f in
+  let t_host =
+    time_of (fun () -> ignore (Grammar.Lalr.build Driver.effective_host))
+  in
+  let t_matrix =
+    time_of (fun () ->
+        ignore
+          (Grammar.Lalr.build
+             (Grammar.Cfg.compose Driver.effective_host
+                [ Ext_matrix.Matrix_ext.grammar ])))
+  in
+  let t_all =
+    time_of (fun () ->
+        ignore
+          (Grammar.Lalr.build
+             (Grammar.Cfg.compose Driver.effective_host
+                [
+                  Ext_matrix.Matrix_ext.grammar;
+                  Ext_transform.Transform_ext.grammar;
+                ])))
+  in
+  let t_analysis =
+    time_of (fun () ->
+        ignore
+          (Grammar.Determinism.check Driver.effective_host
+             Ext_matrix.Matrix_ext.grammar))
+  in
+  let t_compose_full =
+    time_of (fun () -> ignore (Driver.compose Driver.all_extensions))
+  in
+  let states sel = (Driver.compose sel).Driver.table.Grammar.Lalr.n_states in
+  Fmt.pr "  %-46s %10s %8s@." "configuration" "time (ms)" "states";
+  Fmt.pr "  %-46s %10.1f %8d@." "host alone (LALR tables)" (t_host *. 1000.)
+    (states []);
+  Fmt.pr "  %-46s %10.1f %8d@." "host + matrix" (t_matrix *. 1000.)
+    (states [ Driver.matrix ]);
+  Fmt.pr "  %-46s %10.1f %8d@." "host + matrix + transform" (t_all *. 1000.)
+    (states [ Driver.matrix; Driver.transform ]);
+  Fmt.pr "  %-46s %10.1f %8s@." "isComposable(host, matrix)"
+    (t_analysis *. 1000.) "-";
+  Fmt.pr "  %-46s %10.1f %8s@."
+    "full compose (analyses + tables + scanner DFAs)"
+    (t_compose_full *. 1000.) "-";
+  Fmt.pr "  analyses verdicts: matrix/transform/refptr PASS; tuples FAILS \
+          (host-packaged) — see examples/extensibility_demo.@."
+
+(* --- runtime micro-kernels (context for the groups above) ------------------------------------ *)
+
+let bench_kernels () =
+  let a =
+    Nd.init_float [| 256; 256 |] (fun ix -> float_of_int (ix.(0) + ix.(1)))
+  in
+  let b =
+    Nd.init_float [| 256; 256 |] (fun ix ->
+        float_of_int (ix.(0) * ix.(1) mod 97))
+  in
+  let sm = Nd.init_float [| 64; 64 |] (fun ix -> float_of_int ix.(0) +. 1.) in
+  let buf = Array.init 4096 float_of_int in
+  let out = Array.make 4096 0. in
+  ignore
+    (bechamel_group "runtime kernels"
+       [
+         Test.make ~name:"ndarray elementwise add 256x256"
+           (Staged.stage (fun () -> ignore (Nd.arith Runtime.Scalar.Add a b)));
+         Test.make ~name:"ndarray matmul 64x64"
+           (Staged.stage (fun () -> ignore (Nd.matmul sm sm)));
+         Test.make ~name:"simd add 4-lane over 4096 floats"
+           (Staged.stage (fun () ->
+                let i = ref 0 in
+                while !i + 4 <= 4096 do
+                  Runtime.Simd.store out !i
+                    (Runtime.Simd.add
+                       (Runtime.Simd.load buf !i ~width:4)
+                       (Runtime.Simd.load out !i ~width:4));
+                  i := !i + 4
+                done));
+         Test.make ~name:"scalar add over 4096 floats"
+           (Staged.stage (fun () ->
+                for i = 0 to 4095 do
+                  out.(i) <- out.(i) +. buf.(i)
+                done));
+       ])
+
+let () =
+  Fmt.pr "mmc benchmark harness — regenerates the experiment groups of \
+          DESIGN.md §4@.";
+  Fmt.pr "machine: %d core(s) visible to OCaml@." cores;
+  bench_kernels ();
+  bench_composition ();
+  bench_fusion ();
+  bench_slice_elim ();
+  bench_transform_variants ();
+  bench_forkjoin ();
+  bench_refcount ();
+  bench_scaling ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,1 @@
+examples/conncomp_map.ml: Array Driver Eddy Filename Fmt Hashtbl Interp List Runtime Sys

@@ -1,0 +1,1 @@
+examples/conncomp_map.mli:

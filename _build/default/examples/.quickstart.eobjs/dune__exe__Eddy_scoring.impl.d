@@ -1,0 +1,1 @@
+examples/eddy_scoring.ml: Array Driver Eddy Filename Fmt Interp List Runtime String Sys

@@ -1,0 +1,1 @@
+examples/eddy_scoring.mli:

@@ -1,0 +1,1 @@
+examples/extensibility_demo.ml: Ag Cminus Driver Ext_tuples Fmt Grammar Interp List

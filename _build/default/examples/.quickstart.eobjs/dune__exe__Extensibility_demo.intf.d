@@ -1,0 +1,1 @@
+examples/extensibility_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Driver Eddy Filename Fmt Grammar Interp List Runtime Sys

@@ -1,0 +1,1 @@
+examples/transform_tuning.ml: Array Driver Eddy Filename Fmt Interp List Runtime Sys Unix

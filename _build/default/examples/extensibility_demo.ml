@@ -1,0 +1,79 @@
+(* §II/§VI: the extensibility workflow.  A programmer picks extensions the
+   way they pick libraries; the system runs the modular determinism and
+   well-definedness analyses and composes a working translator — or
+   explains precisely why a selection is rejected.
+
+     dune exec examples/extensibility_demo.exe
+*)
+
+let show_selection name sel =
+  Fmt.pr "--- selecting {%s} ---@." name;
+  match Driver.compose sel with
+  | c ->
+      List.iter
+        (fun r -> Fmt.pr "  %a@." Grammar.Determinism.pp_report r)
+        c.Driver.determinism_reports;
+      List.iter
+        (fun r -> Fmt.pr "  %a@." Ag.Wellformed.pp_report r)
+        c.Driver.ag_reports;
+      Fmt.pr "  composed parser: %d LALR(1) states, %d terminals@.@."
+        c.Driver.table.Grammar.Lalr.n_states
+        c.Driver.table.Grammar.Lalr.g.Grammar.Analysis.n_terms
+  | exception Driver.Compose_failed msg ->
+      Fmt.pr "  REJECTED: %s@.@." msg
+
+let () =
+  Fmt.pr "=== composable language extensions (§II, §VI) ===@.@.";
+  show_selection "" [];
+  show_selection "matrix" [ Driver.matrix ];
+  show_selection "matrix, transform" [ Driver.matrix; Driver.transform ];
+  show_selection "matrix, transform, refptr" Driver.all_extensions;
+
+  (* The paper's tuples story: it fails isComposable, so it ships inside
+     the host instead of as a selectable extension. *)
+  Fmt.pr "--- the tuples extension against the bare host (§VI-A) ---@.";
+  let r =
+    Grammar.Determinism.check Cminus.Syntax.fragment
+      Ext_tuples.Tuples_ext.grammar
+  in
+  Fmt.pr "  %a@.@." Grammar.Determinism.pp_report r;
+  Fmt.pr
+    "  ⇒ as in the paper, tuples are \"packaged as part of the host \
+     language\".@.@.";
+
+  (* A deliberately broken extension: steals a host keyword as its marking
+     terminal and conflicts with host syntax. *)
+  let rogue : Grammar.Cfg.t =
+    {
+      Grammar.Cfg.name = "rogue";
+      terminals = [ Grammar.Cfg.keyword ~owner:"rogue" "KW_if2" "if" ];
+      layout = [];
+      productions =
+        [
+          Grammar.Cfg.production ~owner:"rogue" ~name:"prim_if" "Primary"
+            [ Grammar.Cfg.T "KW_if2"; Grammar.Cfg.N "E" ];
+        ];
+      start = None;
+    }
+  in
+  Fmt.pr "--- a rogue extension reusing the host's `if` keyword ---@.";
+  let r = Grammar.Determinism.check Driver.effective_host rogue in
+  Fmt.pr "  %a@.@." Grammar.Determinism.pp_report r;
+
+  (* And the programmer-facing outcome: composition refuses politely. *)
+  Fmt.pr "--- programs in the composed language ---@.";
+  let c = Driver.compose Driver.all_extensions in
+  let src =
+    {|
+int main() {
+  Matrix int <1> v = init(Matrix int <1>, 8);
+  for (int i = 0; i < 8; i++) { v[i] = i; }
+  int total = with ([0] <= [i] < [8]) fold (+, 0, v[i]);
+  return total;
+}
+|}
+  in
+  (match Driver.run c src [] with
+  | Driver.Ok_ v -> Fmt.pr "  program result: %a@." Interp.Eval.pp_value v
+  | Driver.Failed ds -> Fmt.pr "  failed: %s@." (Driver.diags_to_string ds));
+  Fmt.pr "@.Done.@."

@@ -1,0 +1,71 @@
+(* §V: explicit program transformations.  Shows the same with-loop kernel
+   lowered (a) untransformed (Fig 3), (b) after `split j by 4` (Fig 10),
+   (c) after `vectorize jin. parallelize i` (Fig 11) — then times a sweep
+   of transformation variants so "programmers can experiment with
+   different loop structures in their search for higher performance".
+
+     dune exec examples/transform_tuning.exe
+*)
+
+module Nd = Runtime.Ndarray
+
+let c = Driver.compose [ Driver.matrix; Driver.transform; Driver.refptr ]
+
+let emit src =
+  match Driver.compile_to_c c src with
+  | Driver.Ok_ text -> text
+  | Driver.Failed ds ->
+      Fmt.epr "emit failed:@.%s@." (Driver.diags_to_string ds);
+      exit 1
+
+let body_of label text =
+  Fmt.pr "=== %s ===@.%s@." label text
+
+let time_run ?pool src cube =
+  let dir = Filename.temp_file "mmc_tt" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Interp.Eval.provide_input ~dir "ssh.data" cube;
+  let t0 = Unix.gettimeofday () in
+  (match Driver.run ~dir ?pool c src [] with
+  | Driver.Ok_ _ -> ()
+  | Driver.Failed ds ->
+      Fmt.epr "run failed:@.%s@." (Driver.diags_to_string ds);
+      exit 1);
+  Unix.gettimeofday () -. t0
+
+let () =
+  body_of "untransformed (cf. Fig 3)" (emit Eddy.Programs.fig1_temporal_mean);
+  body_of "split j by 4, jin, jout (cf. Fig 10)"
+    (emit (Eddy.Programs.fig9_with_script "split j by 4, jin, jout"));
+  body_of "split + vectorize + parallelize (cf. Fig 11)"
+    (emit Eddy.Programs.fig9_transformed);
+
+  (* Variant sweep: relative timings on this machine.  The paper
+     deliberately reports no absolute numbers — "the resulting performance
+     is really up to the programmer to choose the appropriate set of
+     transformations". *)
+  let cube =
+    Nd.init_float [| 48; 64; 32 |] (fun ix ->
+        float_of_int ((ix.(0) * 7) + (ix.(1) * 3) + ix.(2)) /. 100.)
+  in
+  let variants =
+    [
+      ("baseline", Eddy.Programs.fig1_temporal_mean);
+      ("split j by 4", Eddy.Programs.fig9_with_script "split j by 4, jin, jout");
+      ( "split + vectorize",
+        Eddy.Programs.fig9_with_script "split j by 4, jin, jout. vectorize jin" );
+      ( "tile i,j by 8",
+        Eddy.Programs.fig9_with_script "tile i, j by 8" );
+      ( "interchange i,j",
+        Eddy.Programs.fig9_with_script "interchange i, j" );
+      ("fig 9 full script", Eddy.Programs.fig9_transformed);
+    ]
+  in
+  Fmt.pr "=== variant sweep (wall-clock, interpreted IR) ===@.";
+  Runtime.Pool.with_pool 2 (fun pool ->
+      List.iter
+        (fun (label, src) ->
+          let t = time_run ~pool src cube in
+          Fmt.pr "  %-22s %8.1f ms@." label (t *. 1000.))
+        variants)

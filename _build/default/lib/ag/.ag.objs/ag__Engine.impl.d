@@ -1,0 +1,1 @@
+lib/ag/engine.ml: Array Fun Hashtbl List Parser Printf

@@ -1,0 +1,1 @@
+lib/ag/wellformed.ml: Fmt Format List String

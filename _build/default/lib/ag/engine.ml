@@ -1,0 +1,277 @@
+(** Attribute-grammar evaluation engine in the style of Silver (§VI-B).
+
+    Works over the generic concrete-syntax trees produced by the LR driver,
+    so a single engine decorates trees of {i any} composed language.
+    Supported features, mirroring the ones the paper relies on:
+
+    - {b synthesized} and {b inherited} attributes with demand-driven,
+      memoised evaluation;
+    - {b autocopy} inherited attributes (environments flow to children
+      unless overridden), Silver's convention for [env]-like attributes;
+    - {b forwarding}: an extension production may {i forward} to a tree of
+      host-language constructs — any attribute the extension does not
+      define explicitly is computed on the forward tree, which is how
+      extension constructs obtain their translation "for free";
+    - {b higher-order attributes} [25]: attribute values may themselves be
+      trees, which can be decorated on demand with {!decorate} — the
+      transformation extension of §V uses these to manipulate loop bodies.
+
+    Attribute keys are typed via the standard universal-embedding trick, so
+    user code never sees an untyped value. *)
+
+type value = exn
+(* Universal type: each attribute key carries its own private constructor. *)
+
+type mode = Syn | Inh
+
+type 'a attr = {
+  a_name : string;
+  a_mode : mode;
+  a_autocopy : bool;
+  inj : 'a -> value;
+  prj : value -> 'a option;
+}
+
+(** [syn name] declares a synthesized attribute. *)
+let syn (type a) name : a attr =
+  let module M = struct
+    exception E of a
+  end in
+  {
+    a_name = name;
+    a_mode = Syn;
+    a_autocopy = false;
+    inj = (fun x -> M.E x);
+    prj = (function M.E x -> Some x | _ -> None);
+  }
+
+(** [inh ?autocopy name] declares an inherited attribute.  With
+    [~autocopy:true], a child with no explicit defining equation receives
+    its parent's value of the same attribute. *)
+let inh (type a) ?(autocopy = false) name : a attr =
+  let module M = struct
+    exception E of a
+  end in
+  {
+    a_name = name;
+    a_mode = Inh;
+    a_autocopy = autocopy;
+    inj = (fun x -> M.E x);
+    prj = (function M.E x -> Some x | _ -> None);
+  }
+
+(** A decorated tree node: a parse-tree node plus its attribution context. *)
+type node = {
+  tree : Parser.Tree.t;
+  parent : (node * int) option;  (** parent node and our index within it *)
+  spec : spec;
+  syn_cache : (string, value) Hashtbl.t;
+  inh_cache : (string, value) Hashtbl.t;
+  mutable kids_memo : node array option;
+  mutable fwd_memo : node option option;
+}
+
+and spec = {
+  mutable syn_eqs : (string * string, node -> value) Hashtbl.t;
+      (** (production, attribute) -> equation on the decorated node *)
+  mutable inh_eqs : (string * string * int, node -> value) Hashtbl.t;
+      (** (production, attribute, child index) -> equation *)
+  mutable fwd_eqs : (string, node -> Parser.Tree.t) Hashtbl.t;
+      (** production -> forward-tree constructor *)
+  mutable defaults : (string, node -> value) Hashtbl.t;
+      (** attribute -> default equation (collection-style fallbacks) *)
+  sp_name : string;
+}
+
+exception
+  Missing_equation of {
+    production : string;
+    attribute : string;
+    site : string;  (** "syn" or "inh@i" *)
+  }
+
+let spec name =
+  {
+    syn_eqs = Hashtbl.create 64;
+    inh_eqs = Hashtbl.create 64;
+    fwd_eqs = Hashtbl.create 16;
+    defaults = Hashtbl.create 16;
+    sp_name = name;
+  }
+
+(** [merge base ext] — compose attribute-grammar fragments: the paper's
+    "specifications of the host C language and the extensions are composed".
+    Raises [Invalid_argument] if both define the same equation. *)
+let merge (base : spec) (ext : spec) : spec =
+  let s = spec (base.sp_name ^ "+" ^ ext.sp_name) in
+  let copy_into tbl src what key_to_string =
+    Hashtbl.iter
+      (fun k v ->
+        if Hashtbl.mem tbl k then
+          invalid_arg
+            (Printf.sprintf "Ag.merge: duplicate %s equation %s" what
+               (key_to_string k));
+        Hashtbl.replace tbl k v)
+      src
+  in
+  copy_into s.syn_eqs base.syn_eqs "syn" (fun (p, a) -> p ^ "." ^ a);
+  copy_into s.syn_eqs ext.syn_eqs "syn" (fun (p, a) -> p ^ "." ^ a);
+  copy_into s.inh_eqs base.inh_eqs "inh" (fun (p, a, i) ->
+      Printf.sprintf "%s.%s@%d" p a i);
+  copy_into s.inh_eqs ext.inh_eqs "inh" (fun (p, a, i) ->
+      Printf.sprintf "%s.%s@%d" p a i);
+  copy_into s.fwd_eqs base.fwd_eqs "forward" Fun.id;
+  copy_into s.fwd_eqs ext.fwd_eqs "forward" Fun.id;
+  copy_into s.defaults base.defaults "default" Fun.id;
+  copy_into s.defaults ext.defaults "default" Fun.id;
+  s
+
+(* --- registering equations --------------------------------------------- *)
+
+(** [define_syn spec ~prod attr eq] — equation for [attr] on nodes built by
+    production [prod]. *)
+let define_syn sp ~prod (attr : 'a attr) (eq : node -> 'a) =
+  assert (attr.a_mode = Syn);
+  Hashtbl.replace sp.syn_eqs (prod, attr.a_name) (fun n -> attr.inj (eq n))
+
+(** [define_inh spec ~prod ~child attr eq] — equation giving the value of
+    inherited [attr] for child [child] of production [prod]. *)
+let define_inh sp ~prod ~child (attr : 'a attr) (eq : node -> 'a) =
+  assert (attr.a_mode = Inh);
+  Hashtbl.replace sp.inh_eqs (prod, attr.a_name, child) (fun n ->
+      attr.inj (eq n))
+
+(** [define_forward spec ~prod f] — production [prod] forwards to the host
+    tree computed by [f]; undefined attributes are evaluated there. *)
+let define_forward sp ~prod f = Hashtbl.replace sp.fwd_eqs prod f
+
+(** [define_default spec attr eq] — fallback equation used when a
+    production has neither an explicit equation nor a forward. *)
+let define_default sp (attr : 'a attr) (eq : node -> 'a) =
+  Hashtbl.replace sp.defaults attr.a_name (fun n -> attr.inj (eq n))
+
+(* --- decoration and evaluation ------------------------------------------ *)
+
+let prod_name n = Parser.Tree.prod_name n.tree
+
+let mk_node spec tree parent =
+  {
+    tree;
+    parent;
+    spec;
+    syn_cache = Hashtbl.create 4;
+    inh_cache = Hashtbl.create 4;
+    kids_memo = None;
+    fwd_memo = None;
+  }
+
+(** [decorate spec tree] — root decoration of a parse tree. *)
+let decorate spec tree = mk_node spec tree None
+
+(** Decorated children (memoised). *)
+let children n =
+  match n.kids_memo with
+  | Some ks -> ks
+  | None ->
+      let ks =
+        Array.of_list
+          (List.mapi
+             (fun i t -> mk_node n.spec t (Some (n, i)))
+             (Parser.Tree.children n.tree))
+      in
+      n.kids_memo <- Some ks;
+      ks
+
+let child n i = (children n).(i)
+
+(** The forward tree of [n], decorated with [n]'s parent context, or [None]
+    when [n]'s production does not forward. *)
+let forward n =
+  match n.fwd_memo with
+  | Some f -> f
+  | None ->
+      let f =
+        match Hashtbl.find_opt n.spec.fwd_eqs (prod_name n) with
+        | None -> None
+        | Some build ->
+            (* The forward tree occupies the same position as n, so it sees
+               the same inherited attributes (Silver semantics). *)
+            Some (mk_node n.spec (build n) n.parent)
+      in
+      n.fwd_memo <- Some f;
+      f
+
+let rec get_syn : type a. node -> a attr -> a =
+ fun n attr ->
+  let name = attr.a_name in
+  match Hashtbl.find_opt n.syn_cache name with
+  | Some v -> (
+      match attr.prj v with
+      | Some x -> x
+      | None -> assert false (* key identity guarantees this *))
+  | None ->
+      let v =
+        match Hashtbl.find_opt n.spec.syn_eqs (prod_name n, name) with
+        | Some eq -> eq n
+        | None -> (
+            match forward n with
+            | Some fwd -> attr.inj (get_syn fwd attr)
+            | None -> (
+                match Hashtbl.find_opt n.spec.defaults name with
+                | Some eq -> eq n
+                | None ->
+                    raise
+                      (Missing_equation
+                         {
+                           production = prod_name n;
+                           attribute = name;
+                           site = "syn";
+                         })))
+      in
+      Hashtbl.replace n.syn_cache name v;
+      (match attr.prj v with Some x -> x | None -> assert false)
+
+and get_inh : type a. node -> a attr -> a =
+ fun n attr ->
+  let name = attr.a_name in
+  match Hashtbl.find_opt n.inh_cache name with
+  | Some v -> (
+      match attr.prj v with Some x -> x | None -> assert false)
+  | None ->
+      let v =
+        match n.parent with
+        | None ->
+            raise
+              (Missing_equation
+                 { production = prod_name n; attribute = name; site = "inh@root" })
+        | Some (p, i) -> (
+            match Hashtbl.find_opt n.spec.inh_eqs (prod_name p, name, i) with
+            | Some eq -> eq p
+            | None ->
+                if attr.a_autocopy then attr.inj (get_inh p attr)
+                else
+                  raise
+                    (Missing_equation
+                       {
+                         production = prod_name p;
+                         attribute = name;
+                         site = Printf.sprintf "inh@%d" i;
+                       }))
+      in
+      Hashtbl.replace n.inh_cache name v;
+      (match attr.prj v with Some x -> x | None -> assert false)
+
+(** [set_inh n attr v] — supply an inherited attribute at a decoration
+    root (used when decorating higher-order attribute values). *)
+let set_inh n (attr : 'a attr) (v : 'a) =
+  Hashtbl.replace n.inh_cache attr.a_name (attr.inj v)
+
+(** [decorate_ho ~parent spec tree] — decorate a higher-order attribute
+    value (a tree constructed by an equation) in the inherited context of
+    [parent], as Silver does when a higher-order attribute is accessed. *)
+let decorate_ho ~(parent : node) tree =
+  mk_node parent.spec tree parent.parent
+
+let leaf_text n = Parser.Tree.leaf_text n.tree
+let tree n = n.tree
+let span n = Parser.Tree.span n.tree

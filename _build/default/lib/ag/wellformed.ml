@@ -1,0 +1,191 @@
+(** Modular well-definedness analysis for attribute-grammar specifications
+    (§VI-B, [26]).
+
+    "A challenge arises in that the composition of the extension AG
+    specifications may not be well-defined (meaning some attributes do not
+    have defining equations).  Silver has a modular well-definedness
+    analysis … that extension designers can run on their extension.  It
+    guarantees that if only extensions that pass this analysis are chosen,
+    then the composition of them will be well defined."
+
+    The analysis operates on {e declared} specifications: which attributes
+    occur on which nonterminals, and which equations each production
+    supplies.  Every fragment in this repository (host, tuples, matrix,
+    transform, refptr) declares its AG spec alongside its hook
+    implementation; the driver runs this analysis at composition time and
+    the test suite checks both the passing specs and crafted failing
+    ones.
+
+    Conditions, for an extension E against host H:
+
+    1. {b Complete synthesis}: every E production must define every
+       synthesized attribute occurring on its LHS nonterminal — or
+       {e forward} (the forward tree supplies the rest), or the attribute
+       must have a default.  This is how extension constructs get their
+       translation "for free" while still overriding analyses like
+       [errors].
+    2. {b Complete inheritance}: every nonterminal child of every E
+       production must receive every inherited attribute occurring on it,
+       either by an explicit equation or by autocopy.
+    3. {b No orphan attributes}: an attribute E introduces may occur on a
+       {e host} nonterminal only if it has a default equation — host
+       productions, written without knowledge of E, cannot define it.
+    4. {b No equation on foreign productions for foreign attributes}: E
+       may not give an equation for an attribute it does not own on a
+       production it does not own (two such extensions would collide —
+       the same non-interference rule Silver enforces). *)
+
+type mode = Syn | Inh
+
+type attr_decl = {
+  a_name : string;
+  a_mode : mode;
+  a_autocopy : bool;
+  a_occurs : string list;  (** nonterminals it occurs on *)
+  a_owner : string;
+  a_default : bool;  (** has a default (collection/aspect) equation *)
+}
+
+type prod_decl = {
+  p_name : string;
+  p_lhs : string;
+  p_children : string list;  (** nonterminal children, in order *)
+  p_defines : string list;  (** synthesized attrs of the LHS it defines *)
+  p_child_defines : (int * string) list;
+      (** (child index, inherited attr) equations it supplies *)
+  p_forwards : bool;
+  p_owner : string;
+}
+
+type spec = {
+  sp_name : string;
+  attrs : attr_decl list;
+  prods : prod_decl list;
+}
+
+type violation = { rule : string; detail : string }
+
+type report = { extension : string; passes : bool; violations : violation list }
+
+let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.rule v.detail
+
+let pp_report ppf r =
+  if r.passes then
+    Fmt.pf ppf "AG spec %s: modular well-definedness PASSES" r.extension
+  else
+    Fmt.pf ppf "AG spec %s: modular well-definedness FAILS@.%a" r.extension
+      (Fmt.list ~sep:Fmt.cut pp_violation)
+      r.violations
+
+(** Union of fragments (attribute occurrences merge; duplicate production
+    declarations are an error handled by the grammar-level composition). *)
+let compose (specs : spec list) : spec =
+  {
+    sp_name = String.concat "+" (List.map (fun s -> s.sp_name) specs);
+    attrs = List.concat_map (fun s -> s.attrs) specs;
+    prods = List.concat_map (fun s -> s.prods) specs;
+  }
+
+let attrs_on composed nt mode =
+  List.filter
+    (fun a -> a.a_mode = mode && List.mem nt a.a_occurs)
+    composed.attrs
+
+(** [check ~host ext] — run the modular analysis for [ext] against
+    [host]. *)
+let check ~(host : spec) (ext : spec) : report =
+  let composed = compose [ host; ext ] in
+  let violations = ref [] in
+  let violate rule fmt =
+    Format.kasprintf
+      (fun detail -> violations := { rule; detail } :: !violations)
+      fmt
+  in
+  let host_nts =
+    List.sort_uniq String.compare
+      (List.concat_map (fun p -> p.p_lhs :: p.p_children) host.prods)
+  in
+  let attr_by_name n = List.find_opt (fun a -> a.a_name = n) composed.attrs in
+  (* 1 & 2: completeness of the extension's own productions. *)
+  List.iter
+    (fun p ->
+      let syn_needed = attrs_on composed p.p_lhs Syn in
+      List.iter
+        (fun a ->
+          let defined = List.mem a.a_name p.p_defines in
+          if not (defined || p.p_forwards || a.a_default) then
+            violate "complete-synthesis"
+              "production %s does not define %s.%s and neither forwards nor \
+               has a default"
+              p.p_name p.p_lhs a.a_name)
+        syn_needed;
+      List.iteri
+        (fun i child_nt ->
+          let inh_needed = attrs_on composed child_nt Inh in
+          List.iter
+            (fun a ->
+              let defined = List.mem_assoc i p.p_child_defines
+                            && List.exists
+                                 (fun (j, n) -> j = i && n = a.a_name)
+                                 p.p_child_defines
+              in
+              let defined =
+                defined
+                || List.exists
+                     (fun (j, n) -> j = i && n = a.a_name)
+                     p.p_child_defines
+              in
+              if not (defined || a.a_autocopy) then
+                violate "complete-inheritance"
+                  "production %s does not supply inherited %s to child %d \
+                   (<%s>)"
+                  p.p_name a.a_name i child_nt)
+            inh_needed)
+        p.p_children)
+    ext.prods;
+  (* 3: extension attributes occurring on host nonterminals need defaults. *)
+  List.iter
+    (fun a ->
+      if a.a_owner = ext.sp_name && a.a_mode = Syn && not a.a_default then
+        List.iter
+          (fun nt ->
+            if List.mem nt host_nts then
+              violate "orphan-attribute"
+                "extension attribute %s occurs on host nonterminal <%s> \
+                 without a default equation"
+                a.a_name nt)
+          a.a_occurs)
+    ext.attrs;
+  (* 4: no equations for foreign attributes on foreign productions. *)
+  List.iter
+    (fun p ->
+      if p.p_owner = ext.sp_name then ()
+      else
+        List.iter
+          (fun attr ->
+            match attr_by_name attr with
+            | Some a when a.a_owner <> ext.sp_name ->
+                violate "non-interference"
+                  "extension %s defines foreign attribute %s on foreign \
+                   production %s"
+                  ext.sp_name attr p.p_name
+            | _ -> ())
+          p.p_defines)
+    ext.prods;
+  let violations = List.rev !violations in
+  { extension = ext.sp_name; passes = violations = []; violations }
+
+(** Convenience: declare that a production defines the standard complement
+    of host attributes (errors, type, translation) — used by fragments
+    whose productions all follow the same pattern. *)
+let full_prod ~owner ~lhs ~children ?(defines = []) ?(forwards = false)
+    ?(child_defines = []) name =
+  {
+    p_name = name;
+    p_lhs = lhs;
+    p_children = children;
+    p_defines = defines;
+    p_child_defines = child_defines;
+    p_forwards = forwards;
+    p_owner = owner;
+  }

@@ -1,0 +1,1 @@
+lib/cir/emit.ml: Buffer Float Ir List Printf Runtime String

@@ -1,0 +1,1 @@
+lib/cir/ir.ml: Fun List Option Printf Runtime String

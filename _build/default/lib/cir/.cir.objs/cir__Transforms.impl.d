@@ -1,0 +1,1 @@
+lib/cir/transforms.ml: Emit Fmt Format Fun Ir List Option Printf Result Runtime String

@@ -1,0 +1,228 @@
+(** The lowered C-like intermediate representation — the "plain (parallel)
+    C code" every extension translates down to (§II).
+
+    Matrix constructs arrive here as explicit loop nests over flat
+    row-major buffers plus a small runtime API (allocation, flat get/set,
+    dimension queries, reference counting) — exactly the code the paper
+    shows in Fig 3.  Loops are structured ([For] with named index, 0-based,
+    exclusive upper bound, step 1) so the §V transformations can find and
+    rewrite them; [ParFor] marks a loop dispatched to the persistent
+    worker pool; the [Vec*] forms are the simulated-SSE operations that
+    vectorization introduces (Fig 11). *)
+
+type ctype =
+  | CInt
+  | CFloat
+  | CBool
+  | CVoid
+  | CMat of Runtime.Ndarray.elem * int  (** element type, static rank *)
+  | CVec  (** SSE vector register of [Simd.default_width] f32 lanes *)
+  | CTuple of ctype list  (** lowered to a C struct *)
+
+let rec ctype_name = function
+  | CInt -> "int"
+  | CFloat -> "float"
+  | CBool -> "bool"
+  | CVoid -> "void"
+  | CMat (e, r) ->
+      Printf.sprintf "mm_mat_%s%d" (Runtime.Ndarray.elem_name e) r
+  | CVec -> "__m128"
+  | CTuple ts ->
+      "struct_" ^ String.concat "_" (List.map ctype_name ts)
+
+type binop =
+  | Arith of Runtime.Scalar.arith
+  | Cmp of Runtime.Scalar.cmp
+  | Logic of Runtime.Scalar.logic
+
+type unop = Neg | Not | IntOfFloat | FloatOfInt
+
+type expr =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string  (** file-path literals for readMatrix/writeMatrix *)
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Min of expr * expr  (** integer minimum (tile boundary bounds) *)
+  | Call of string * expr list
+  | TupleE of expr list
+  | Field of expr * int
+  (* --- matrix runtime API ------------------------------------------- *)
+  | MAlloc of Runtime.Ndarray.elem * expr list  (** mm_alloc: extents *)
+  | MGetFlat of expr * expr  (** buffer read: matrix, flat offset *)
+  | MDim of expr * expr  (** mm_dim(m, d); d is usually a static literal *)
+  | MSize of expr  (** mm_size(m): product of extents *)
+  | MRead of expr  (** readMatrix(path) *)
+  (* --- simulated SSE -------------------------------------------------- *)
+  | VecSplat of expr  (** _mm_set1_ps *)
+  | VecGather of expr * expr * expr
+      (** (matrix, base offset, lane stride); stride 1 = _mm_loadu_ps *)
+  | VecBin of Runtime.Scalar.arith * expr * expr
+  | VecHsum of expr  (** horizontal sum to a float *)
+
+type lvalue = LVar of string | LField of lvalue * int
+
+type stmt =
+  | Decl of ctype * string * expr option
+  | Assign of lvalue * expr
+  | MSetFlat of expr * expr * expr  (** matrix, flat offset, value *)
+  | VecScatter of expr * expr * expr * expr
+      (** (matrix, base, stride, vector); stride 1 = _mm_storeu_ps *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of loop
+  | ParFor of loop  (** dispatched to the §III-C worker pool *)
+  | ExprS of expr
+  | Return of expr option
+  | Break
+  | Continue
+  | RcInc of expr  (** refcount increment on a matrix handle *)
+  | RcDec of expr
+  | MWrite of expr * expr  (** writeMatrix(path, m) *)
+  | Comment of string  (** carried into the emitted C *)
+  | Block of stmt list  (** braced C scope (shadowing, lifetimes) *)
+  | Spawn of lvalue option * string * expr list
+      (** Cilk-style [x = spawn f(args)] (§VIII future work): the call runs
+          concurrently; the assignment lands at the next [Sync] *)
+  | Sync  (** Cilk sync: wait for every spawn of the current function *)
+
+and loop = { index : string; bound : expr; body : stmt list }
+(** Canonical loop: [for (int index = 0; index < bound; index++)]. The
+    lowerings always produce this form; transformations rely on it. *)
+
+type func = {
+  f_name : string;
+  f_params : (ctype * string) list;
+  f_ret : ctype;
+  f_body : stmt list;
+}
+
+type program = { funcs : func list; main : string }
+
+(* ----- traversal / rewriting utilities used by the transformations ----- *)
+
+(** [map_expr f e] — bottom-up expression rewrite. *)
+let rec map_expr f e =
+  let r = map_expr f in
+  let e' =
+    match e with
+    | Int _ | Float _ | Bool _ | Str _ | Var _ -> e
+    | Binop (op, a, b) -> Binop (op, r a, r b)
+    | Unop (op, a) -> Unop (op, r a)
+    | Min (a, b) -> Min (r a, r b)
+    | Call (n, args) -> Call (n, List.map r args)
+    | TupleE es -> TupleE (List.map r es)
+    | Field (a, i) -> Field (r a, i)
+    | MAlloc (el, es) -> MAlloc (el, List.map r es)
+    | MGetFlat (m, o) -> MGetFlat (r m, r o)
+    | MDim (m, d) -> MDim (r m, r d)
+    | MSize m -> MSize (r m)
+    | MRead p -> MRead (r p)
+    | VecSplat a -> VecSplat (r a)
+    | VecGather (m, b, s) -> VecGather (r m, r b, r s)
+    | VecBin (op, a, b) -> VecBin (op, r a, r b)
+    | VecHsum a -> VecHsum (r a)
+  in
+  f e'
+
+(** [map_stmts fe fs stmts] — bottom-up rewrite of statements ([fs]) with
+    expressions rewritten by [fe]. *)
+let rec map_stmt fe fs s =
+  let re = map_expr fe in
+  let rb = List.map (map_stmt fe fs) in
+  let s' =
+    match s with
+    | Decl (t, n, e) -> Decl (t, n, Option.map re e)
+    | Assign (lv, e) -> Assign (lv, re e)
+    | MSetFlat (m, o, v) -> MSetFlat (re m, re o, re v)
+    | VecScatter (m, b, st, v) -> VecScatter (re m, re b, re st, re v)
+    | If (c, a, b) -> If (re c, rb a, rb b)
+    | While (c, b) -> While (re c, rb b)
+    | For l -> For { l with bound = re l.bound; body = rb l.body }
+    | ParFor l -> ParFor { l with bound = re l.bound; body = rb l.body }
+    | ExprS e -> ExprS (re e)
+    | Return e -> Return (Option.map re e)
+    | Break | Continue | Comment _ -> s
+    | RcInc e -> RcInc (re e)
+    | RcDec e -> RcDec (re e)
+    | MWrite (p, m) -> MWrite (re p, re m)
+    | Block b -> Block (rb b)
+    | Spawn (lv, f, args) -> Spawn (lv, f, List.map re args)
+    | Sync -> Sync
+  in
+  fs s'
+
+let map_stmts fe fs stmts = List.map (map_stmt fe fs) stmts
+
+(** [subst_var name e stmts] — replace every [Var name] with [e]. *)
+let subst_var name e stmts =
+  map_stmts (function Var n when n = name -> e | x -> x) Fun.id stmts
+
+(** [subst_var_expr name r e] — same substitution within one expression. *)
+let subst_var_expr name r e =
+  map_expr (function Var n when n = name -> r | x -> x) e
+
+(** [expr_uses_var name e] — does [Var name] occur in [e]? *)
+let expr_uses_var name e =
+  let found = ref false in
+  ignore
+    (map_expr
+       (function
+         | Var n when n = name ->
+             found := true;
+             Var n
+         | x -> x)
+       e);
+  !found
+
+(** [stmts_use_var name b] — does [Var name] occur anywhere in [b]? *)
+let stmts_use_var name b =
+  let found = ref false in
+  ignore
+    (map_stmts
+       (function
+         | Var n when n = name ->
+             found := true;
+             Var n
+         | x -> x)
+       Fun.id b);
+  !found
+
+(** Structural helpers for building lowered code. *)
+let ( +: ) a b = Binop (Arith Runtime.Scalar.Add, a, b)
+
+let ( -: ) a b = Binop (Arith Runtime.Scalar.Sub, a, b)
+let ( *: ) a b = Binop (Arith Runtime.Scalar.Mul, a, b)
+let ( /: ) a b = Binop (Arith Runtime.Scalar.Div, a, b)
+let ( <: ) a b = Binop (Cmp Runtime.Scalar.Lt, a, b)
+
+(** Smart constant folding used by the lowerings and transformations so the
+    emitted C matches the paper's figures (e.g. [n/4] stays symbolic but
+    [8/4] folds to [2]). *)
+let rec fold_expr e =
+  match e with
+  | Binop (Arith op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (op, a, b) with
+      | Runtime.Scalar.Add, Int 0, x | Runtime.Scalar.Add, x, Int 0 -> x
+      | Runtime.Scalar.Sub, x, Int 0 -> x
+      | Runtime.Scalar.Mul, Int 1, x | Runtime.Scalar.Mul, x, Int 1 -> x
+      | Runtime.Scalar.Mul, Int 0, _ | Runtime.Scalar.Mul, _, Int 0 -> Int 0
+      | Runtime.Scalar.Div, x, Int 1 -> x
+      | _, Int x, Int y -> (
+          match op with
+          | Runtime.Scalar.Add -> Int (x + y)
+          | Runtime.Scalar.Sub -> Int (x - y)
+          | Runtime.Scalar.Mul -> Int (x * y)
+          | Runtime.Scalar.Div -> if y = 0 then Binop (Arith op, a, b) else Int (x / y)
+          | Runtime.Scalar.Mod -> if y = 0 then Binop (Arith op, a, b) else Int (x mod y))
+      | _ -> Binop (Arith op, a, b))
+  | Min (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Int x, Int y -> Int (min x y)
+      | a, b -> Min (a, b))
+  | e -> e
+
+let fold_deep stmts = map_stmts fold_expr Fun.id stmts

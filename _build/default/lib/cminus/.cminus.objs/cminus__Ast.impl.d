@@ -1,0 +1,1 @@
+lib/cminus/ast.ml: List Runtime String Support Types

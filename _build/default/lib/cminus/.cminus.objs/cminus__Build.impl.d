@@ -1,0 +1,1 @@
+lib/cminus/build.ml: Ast Format Grammar Hashtbl Lexer List Parser Runtime String Support

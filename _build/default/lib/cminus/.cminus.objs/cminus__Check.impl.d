@@ -1,0 +1,1 @@
+lib/cminus/check.ml: Ast Format Fun Hashtbl List Option Runtime Support Types

@@ -1,0 +1,1 @@
+lib/cminus/lower.ml: Ast Cir Format Hashtbl List Option Runtime Support Types

@@ -1,0 +1,1 @@
+lib/cminus/syntax.ml: Grammar

@@ -1,0 +1,1 @@
+lib/cminus/types.ml: Cir Fmt List Printf Runtime String

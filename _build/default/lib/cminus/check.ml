@@ -1,0 +1,375 @@
+(** Semantic analysis of the extended language (§VI-B): type checking,
+    overload resolution for operators such as [+] and [=], and the
+    domain-specific error checks each extension contributes.
+
+    Extensions participate through a {!hooks} record — the OCaml rendering
+    of contributing attribute-grammar equations to the composed
+    specification.  The checker tries host rules first, then offers the
+    construct to each selected extension's hooks in order; an unclaimed
+    construct is an error.  Expression types are cached in the AST's [ety]
+    slots for the lowering phase. *)
+
+module S = Runtime.Scalar
+
+type t = {
+  mutable scopes : (string, Types.ty) Hashtbl.t list;
+  funcs : (string, Types.ty list * Types.ty) Hashtbl.t;
+  mutable diags : Support.Diag.t list;
+  mutable ret : Types.ty;
+  mutable loop_depth : int;
+  mutable index_ctx : (Types.ty * int) option;
+      (** set while checking a subscript item: (matrix type, dimension) —
+          gives meaning to the matrix extension's [end] *)
+  hooks : hooks list;
+}
+
+(** One extension's contribution to semantic analysis.  Every function
+    returns [None] (or [false]) to decline, letting the next extension
+    try — unclaimed constructs become errors in the host checker. *)
+and hooks = {
+  h_name : string;
+  h_ty : t -> Ast.ext_ty -> Ast.span -> Types.ty option;
+  h_expr : t -> Ast.ext_expr -> Ast.span -> expected:Types.ty option -> Types.ty option;
+  h_stmt : t -> Ast.ext_stmt -> Ast.span -> bool;
+  h_binop : t -> Ast.binop -> Types.ty -> Types.ty -> Ast.span -> Types.ty option;
+  h_unop : t -> Ast.unop -> Types.ty -> Ast.span -> Types.ty option;
+  h_call : t -> string -> Ast.expr list -> Ast.span -> expected:Types.ty option -> Types.ty option;
+  h_subscript : t -> Types.ty -> Ast.index list -> Ast.span -> Types.ty option;
+  h_assign : t -> dst:Types.ty -> src:Types.ty -> Ast.span -> bool;
+      (** extra assignment compatibility, e.g. scalar fill into a selected
+          submatrix region *)
+}
+
+(** A hooks record that declines everything; extensions override fields. *)
+let no_hooks name =
+  {
+    h_name = name;
+    h_ty = (fun _ _ _ -> None);
+    h_expr = (fun _ _ _ ~expected:_ -> None);
+    h_stmt = (fun _ _ _ -> false);
+    h_binop = (fun _ _ _ _ _ -> None);
+    h_unop = (fun _ _ _ _ -> None);
+    h_call = (fun _ _ _ _ ~expected:_ -> None);
+    h_subscript = (fun _ _ _ _ -> None);
+    h_assign = (fun _ ~dst:_ ~src:_ _ -> false);
+  }
+
+let error t span fmt =
+  Format.kasprintf
+    (fun m ->
+      t.diags <- Support.Diag.error ~phase:"typecheck" ~span "%s" m :: t.diags)
+    fmt
+
+let push_scope t = t.scopes <- Hashtbl.create 8 :: t.scopes
+let pop_scope t = t.scopes <- List.tl t.scopes
+
+let declare t span name ty =
+  match t.scopes with
+  | scope :: _ ->
+      if Hashtbl.mem scope name then
+        error t span "redeclaration of '%s' in the same scope" name
+      else Hashtbl.replace scope name ty
+  | [] -> assert false
+
+let lookup t name =
+  List.find_map (fun sc -> Hashtbl.find_opt sc name) t.scopes
+
+let first_hook f t =
+  List.find_map (fun h -> f h) t.hooks
+
+(* --- types ------------------------------------------------------------------ *)
+
+let rec resolve_ty t (te : Ast.ty_expr) (span : Ast.span) : Types.ty =
+  match te with
+  | Ast.TyInt -> Types.TInt
+  | Ast.TyFloat -> Types.TFloat
+  | Ast.TyBool -> Types.TBool
+  | Ast.TyVoid -> Types.TVoid
+  | Ast.TyTuple ts -> Types.TTuple (List.map (fun x -> resolve_ty t x span) ts)
+  | Ast.TyExt ext -> (
+      match first_hook (fun h -> h.h_ty t ext span) t with
+      | Some ty -> ty
+      | None ->
+          error t span "no loaded extension understands type %s"
+            (Ast.ty_expr_to_string te);
+          Types.TInt)
+
+(* --- expressions --------------------------------------------------------------- *)
+
+let rec check_expr ?(expected : Types.ty option) t (e : Ast.expr) : Types.ty =
+  let ty = infer ?expected t e in
+  e.Ast.ety <- Some ty;
+  ty
+
+and infer ?expected t (e : Ast.expr) : Types.ty =
+  let span = e.Ast.espan in
+  match e.Ast.e with
+  | Ast.IntLit _ -> Types.TInt
+  | Ast.FloatLit _ -> Types.TFloat
+  | Ast.BoolLit _ -> Types.TBool
+  | Ast.StrLit _ -> Types.TStr
+  | Ast.Ident name -> (
+      match lookup t name with
+      | Some ty -> ty
+      | None ->
+          error t span "unbound variable '%s'" name;
+          Option.value expected ~default:Types.TInt)
+  | Ast.Bin (op, a, b) -> (
+      let ta = check_expr t a and tb = check_expr t b in
+      match host_binop op ta tb with
+      | Some ty -> ty
+      | None -> (
+          match first_hook (fun h -> h.h_binop t op ta tb span) t with
+          | Some ty -> ty
+          | None ->
+              error t span "operator %s undefined for %s and %s"
+                (binop_name op) (Types.to_string ta) (Types.to_string tb);
+              Option.value expected ~default:ta))
+  | Ast.Un (op, a) -> (
+      let ta = check_expr t a in
+      match (op, ta) with
+      | Ast.UNeg, (Types.TInt | Types.TFloat) -> ta
+      | Ast.UNot, Types.TBool -> Types.TBool
+      | _ -> (
+          match first_hook (fun h -> h.h_unop t op ta span) t with
+          | Some ty -> ty
+          | None ->
+              error t span "operator %s undefined for %s"
+                (match op with Ast.UNeg -> "-" | Ast.UNot -> "!")
+                (Types.to_string ta);
+              ta))
+  | Ast.Cast (te, a) -> (
+      let target = resolve_ty t te span in
+      let ta = check_expr t a in
+      match (target, ta) with
+      | (Types.TInt | Types.TFloat), (Types.TInt | Types.TFloat) -> target
+      | _ when Types.equal target ta -> target
+      | _ ->
+          error t span "invalid cast from %s to %s" (Types.to_string ta)
+            (Types.to_string target);
+          target)
+  | Ast.CallE (name, args) -> (
+      match Hashtbl.find_opt t.funcs name with
+      | Some (ptys, rty) ->
+          let n_args = List.length args and n_params = List.length ptys in
+          if n_args <> n_params then begin
+            error t span "%s expects %d argument(s), got %d" name n_params
+              n_args;
+            List.iter (fun a -> ignore (check_expr t a)) args
+          end
+          else
+            List.iter2
+              (fun a pty ->
+                let ta = check_expr ~expected:pty t a in
+                if not (Types.assignable ~dst:pty ~src:ta) then
+                  error t a.Ast.espan
+                    "argument of type %s where %s is expected"
+                    (Types.to_string ta) (Types.to_string pty))
+              args ptys;
+          rty
+      | None -> (
+          match
+            first_hook (fun h -> h.h_call t name args span ~expected) t
+          with
+          | Some ty -> ty
+          | None ->
+              error t span "call to undefined function '%s'" name;
+              List.iter (fun a -> ignore (check_expr t a)) args;
+              Option.value expected ~default:Types.TInt))
+  | Ast.TupleLit es ->
+      (* host-packaged tuples extension: anonymous creation (§III-B) *)
+      let expecteds =
+        match expected with
+        | Some (Types.TTuple ts) when List.length ts = List.length es ->
+            List.map Option.some ts
+        | _ -> List.map (fun _ -> None) es
+      in
+      Types.TTuple (List.map2 (fun x exp -> check_expr ?expected:exp t x) es expecteds)
+  | Ast.Subscript (base, indices) -> (
+      let tb = check_expr t base in
+      match first_hook (fun h -> h.h_subscript t tb indices span) t with
+      | Some ty -> ty
+      | None ->
+          error t span
+            "type %s is not subscriptable (load the matrix extension?)"
+            (Types.to_string tb);
+          List.iter
+            (function
+              | Ast.IExpr ix -> ignore (check_expr t ix)
+              | Ast.IAll _ -> ())
+            indices;
+          Option.value expected ~default:Types.TInt)
+  | Ast.ExtE ext -> (
+      match first_hook (fun h -> h.h_expr t ext span ~expected) t with
+      | Some ty -> ty
+      | None ->
+          error t span "no loaded extension understands this expression";
+          Option.value expected ~default:Types.TInt)
+
+and host_binop (op : Ast.binop) ta tb : Types.ty option =
+  match op with
+  | Ast.BArith S.Mod -> (
+      match (ta, tb) with Types.TInt, Types.TInt -> Some Types.TInt | _ -> None)
+  | Ast.BArith _ -> (
+      match (ta, tb) with
+      | (Types.TInt | Types.TFloat), (Types.TInt | Types.TFloat) ->
+          Types.promote ta tb
+      | _ -> None)
+  | Ast.BCmp (S.Eq | S.Ne) -> (
+      match (ta, tb) with
+      | (Types.TInt | Types.TFloat), (Types.TInt | Types.TFloat) ->
+          Some Types.TBool
+      | Types.TBool, Types.TBool -> Some Types.TBool
+      | _ -> None)
+  | Ast.BCmp _ -> (
+      match (ta, tb) with
+      | (Types.TInt | Types.TFloat), (Types.TInt | Types.TFloat) ->
+          Some Types.TBool
+      | _ -> None)
+  | Ast.BLogic _ -> (
+      match (ta, tb) with
+      | Types.TBool, Types.TBool -> Some Types.TBool
+      | _ -> None)
+  | Ast.BExt _ -> None
+
+and binop_name = function
+  | Ast.BArith op -> S.arith_name op
+  | Ast.BCmp op -> S.cmp_name op
+  | Ast.BLogic S.And -> "&&"
+  | Ast.BLogic S.Or -> "||"
+  | Ast.BExt name -> name
+
+(* --- statements -------------------------------------------------------------------- *)
+
+let rec check_stmt t (st : Ast.stmt) : unit =
+  let span = st.Ast.sspan in
+  match st.Ast.s with
+  | Ast.DeclS (te, name, init) ->
+      let ty = resolve_ty t te span in
+      if Types.equal ty Types.TVoid then
+        error t span "variable '%s' declared void" name;
+      (match init with
+      | Some e ->
+          let te' = check_expr ~expected:ty t e in
+          (* No hook here: a declaration must receive a whole value (a
+             scalar fill has no extents to allocate from). *)
+          if not (Types.assignable ~dst:ty ~src:te') then
+            error t span "cannot initialise %s '%s' from %s"
+              (Types.to_string ty) name (Types.to_string te')
+      | None -> ());
+      declare t span name ty
+  | Ast.AssignS (lhs, rhs) -> check_assign t span lhs rhs
+  | Ast.IfS (c, a, b) ->
+      require_bool t c;
+      in_scope t (fun () -> List.iter (check_stmt t) a);
+      in_scope t (fun () -> List.iter (check_stmt t) b)
+  | Ast.WhileS (c, body) ->
+      require_bool t c;
+      t.loop_depth <- t.loop_depth + 1;
+      in_scope t (fun () -> List.iter (check_stmt t) body);
+      t.loop_depth <- t.loop_depth - 1
+  | Ast.ForS (init, cond, step, body) ->
+      in_scope t (fun () ->
+          Option.iter (check_stmt t) init;
+          Option.iter (require_bool t) cond;
+          Option.iter (check_stmt t) step;
+          t.loop_depth <- t.loop_depth + 1;
+          in_scope t (fun () -> List.iter (check_stmt t) body);
+          t.loop_depth <- t.loop_depth - 1)
+  | Ast.ReturnS None ->
+      if not (Types.equal t.ret Types.TVoid) then
+        error t span "return without a value in a function returning %s"
+          (Types.to_string t.ret)
+  | Ast.ReturnS (Some e) ->
+      let te = check_expr ~expected:t.ret t e in
+      if Types.equal t.ret Types.TVoid then
+        error t span "returning a value from a void function"
+      else if not (Types.assignable ~dst:t.ret ~src:te) then
+        error t span "returning %s from a function returning %s"
+          (Types.to_string te) (Types.to_string t.ret)
+  | Ast.BreakS ->
+      if t.loop_depth = 0 then error t span "break outside of a loop"
+  | Ast.ContinueS ->
+      if t.loop_depth = 0 then error t span "continue outside of a loop"
+  | Ast.ExprStmt e -> ignore (check_expr t e)
+  | Ast.BlockS body -> in_scope t (fun () -> List.iter (check_stmt t) body)
+  | Ast.ExtS ext ->
+      if not (List.exists (fun h -> h.h_stmt t ext span) t.hooks) then
+        error t span "no loaded extension understands this statement"
+
+and first_hook_assign t ~dst ~src span =
+  List.exists (fun h -> h.h_assign t ~dst ~src span) t.hooks
+
+and check_assign t span lhs rhs =
+  (* Validate lvalue-ness first. *)
+  let rec is_lvalue (e : Ast.expr) =
+    match e.Ast.e with
+    | Ast.Ident _ -> true
+    | Ast.Subscript (base, _) -> is_lvalue base
+    | Ast.TupleLit es -> List.for_all is_lvalue es
+    | _ -> false
+  in
+  if not (is_lvalue lhs) then error t span "left side of = is not assignable";
+  let tl = check_expr t lhs in
+  let tr = check_expr ~expected:tl t rhs in
+  if
+    (not (Types.assignable ~dst:tl ~src:tr))
+    && not (first_hook_assign t ~dst:tl ~src:tr span)
+  then
+    error t span "cannot assign %s to %s" (Types.to_string tr)
+      (Types.to_string tl)
+
+and require_bool t c =
+  let tc = check_expr ~expected:Types.TBool t c in
+  if not (Types.equal tc Types.TBool) then
+    error t c.Ast.espan "condition has type %s, expected bool"
+      (Types.to_string tc)
+
+and in_scope : 'a. t -> (unit -> 'a) -> 'a =
+ fun t f ->
+  push_scope t;
+  Fun.protect ~finally:(fun () -> pop_scope t) f
+
+(* --- programs ------------------------------------------------------------------------ *)
+
+let check_fundef t (f : Ast.fundef) : unit =
+  t.ret <- resolve_ty t f.Ast.ret f.Ast.fspan;
+  t.loop_depth <- 0;
+  in_scope t (fun () ->
+      List.iter
+        (fun (te, name) ->
+          let ty = resolve_ty t te f.Ast.fspan in
+          if Types.equal ty Types.TVoid then
+            error t f.Ast.fspan "parameter '%s' declared void" name;
+          declare t f.Ast.fspan name ty)
+        f.Ast.params;
+      List.iter (check_stmt t) f.Ast.body)
+
+(** [check_program hooks prog] — full semantic analysis; returns the
+    diagnostics (empty = well-typed).  Fills every expression's [ety]. *)
+let check_program (hooks : hooks list) (prog : Ast.program) :
+    Support.Diag.t list =
+  let t =
+    {
+      scopes = [];
+      funcs = Hashtbl.create 16;
+      diags = [];
+      ret = Types.TVoid;
+      loop_depth = 0;
+      index_ctx = None;
+      hooks;
+    }
+  in
+  (* Pass 1: function signatures (allows forward references). *)
+  List.iter
+    (fun (f : Ast.fundef) ->
+      if Hashtbl.mem t.funcs f.Ast.fname then
+        error t f.Ast.fspan "function '%s' defined twice" f.Ast.fname
+      else
+        Hashtbl.replace t.funcs f.Ast.fname
+          ( List.map (fun (te, _) -> resolve_ty t te f.Ast.fspan) f.Ast.params,
+            resolve_ty t f.Ast.ret f.Ast.fspan ))
+    prog;
+  (* Pass 2: bodies. *)
+  List.iter (check_fundef t) prog;
+  List.rev t.diags

@@ -1,0 +1,173 @@
+(** Concrete syntax of the CMINUS host language as a declarative grammar
+    fragment (§III-D: "the extension developer must define both the
+    concrete syntax and abstract syntax of the constructs as context free
+    grammar rules" — the host is specified the same way).
+
+    Design notes for composability with the paper's extensions:
+    - array-subscript syntax ([a\[i, j\]]) belongs to the host (it is
+      ordinary C syntax); the matrix extension overloads its semantics and
+      adds new {e index forms} ([:], [end]) behind marking terminals;
+    - if/while/for bodies are braced blocks, which keeps the composed
+      grammars LALR(1) without dangling-else hacks;
+    - tuple syntax is specified by the separate tuples fragment
+      ({!Exts.Tuples}) but bundled with the host because it fails
+      [isComposable] (§VI-A), exactly as in the paper. *)
+
+open Grammar.Cfg
+
+let owner = "host"
+let t = terminal ~owner
+let kw = keyword ~owner
+let p = production ~owner
+
+let terminals =
+  [
+    t "ID" "[a-zA-Z_][a-zA-Z0-9_]*";
+    t "INTLIT" "[0-9]+";
+    t "FLOATLIT" "[0-9]+\\.[0-9]+f?|[0-9]+f";
+    t "STRINGLIT" "\"[^\"]*\"";
+    kw "KW_int" "int";
+    kw "KW_float" "float";
+    kw "KW_bool" "bool";
+    kw "KW_void" "void";
+    kw "KW_if" "if";
+    kw "KW_else" "else";
+    kw "KW_while" "while";
+    kw "KW_for" "for";
+    kw "KW_return" "return";
+    kw "KW_break" "break";
+    kw "KW_continue" "continue";
+    kw "KW_true" "true";
+    kw "KW_false" "false";
+    kw "LP" "(";
+    kw "RP" ")";
+    kw "LB" "{";
+    kw "RB" "}";
+    kw "LSQ" "[";
+    kw "RSQ" "]";
+    kw "COMMA" ",";
+    kw "SEMI" ";";
+    kw "ASSIGN" "=";
+    kw "PLUS" "+";
+    kw "PLUSPLUS" "++";
+    kw "MINUS" "-";
+    kw "STAR" "*";
+    kw "SLASH" "/";
+    kw "PERCENT" "%";
+    kw "LT" "<";
+    kw "LE" "<=";
+    kw "GT" ">";
+    kw "GE" ">=";
+    kw "EQ" "==";
+    kw "NE" "!=";
+    kw "ANDAND" "&&";
+    kw "OROR" "||";
+    kw "BANG" "!";
+  ]
+
+let layout =
+  [
+    t "WS" "[ \\t\\n\\r]+";
+    t "LINE_COMMENT" "//[^\n]*";
+    t "BLOCK_COMMENT" "/\\*([^*]|\\*+[^*/])*\\*+/";
+  ]
+
+let productions =
+  [
+    (* program structure *)
+    p ~name:"prog" "Program" [ N "FunList" ];
+    p ~name:"funs_one" "FunList" [ N "Fun" ];
+    p ~name:"funs_cons" "FunList" [ N "FunList"; N "Fun" ];
+    p ~name:"fun_def" "Fun"
+      [ N "TypeE"; T "ID"; T "LP"; N "ParamsOpt"; T "RP"; N "Block" ];
+    p ~name:"params_none" "ParamsOpt" [];
+    p ~name:"params_some" "ParamsOpt" [ N "Params" ];
+    p ~name:"params_one" "Params" [ N "Param" ];
+    p ~name:"params_cons" "Params" [ N "Params"; T "COMMA"; N "Param" ];
+    p ~name:"param" "Param" [ N "TypeE"; T "ID" ];
+    (* types: scalars via the shared ScalarType nonterminal (also used by
+       casts and by the matrix extension's element types) *)
+    p ~name:"ty_scalar" "TypeE" [ N "ScalarType" ];
+    p ~name:"ty_void" "TypeE" [ T "KW_void" ];
+    p ~name:"sty_int" "ScalarType" [ T "KW_int" ];
+    p ~name:"sty_float" "ScalarType" [ T "KW_float" ];
+    p ~name:"sty_bool" "ScalarType" [ T "KW_bool" ];
+    (* statements *)
+    p ~name:"block" "Block" [ T "LB"; N "StmtList"; T "RB" ];
+    p ~name:"stmts_nil" "StmtList" [];
+    p ~name:"stmts_cons" "StmtList" [ N "StmtList"; N "Stmt" ];
+    p ~name:"st_simple" "Stmt" [ N "Simple"; T "SEMI" ];
+    p ~name:"st_if" "Stmt" [ N "IfStmt" ];
+    p ~name:"st_while" "Stmt"
+      [ T "KW_while"; T "LP"; N "E"; T "RP"; N "Block" ];
+    p ~name:"st_for" "Stmt"
+      [
+        T "KW_for"; T "LP"; N "Simple"; T "SEMI"; N "E"; T "SEMI"; N "ForStep";
+        T "RP"; N "Block";
+      ];
+    p ~name:"st_block" "Stmt" [ N "Block" ];
+    p ~name:"if_stmt" "IfStmt"
+      [ T "KW_if"; T "LP"; N "E"; T "RP"; N "Block"; N "IfTail" ];
+    p ~name:"iftail_none" "IfTail" [];
+    p ~name:"iftail_else" "IfTail" [ T "KW_else"; N "Block" ];
+    p ~name:"iftail_elseif" "IfTail" [ T "KW_else"; N "IfStmt" ];
+    p ~name:"forstep_assign" "ForStep" [ N "Postfix"; T "ASSIGN"; N "E" ];
+    p ~name:"forstep_incr" "ForStep" [ T "ID"; T "PLUSPLUS" ];
+    (* simple (semicolon-terminated) statements *)
+    p ~name:"simple_decl" "Simple" [ N "TypeE"; T "ID" ];
+    p ~name:"simple_decl_init" "Simple"
+      [ N "TypeE"; T "ID"; T "ASSIGN"; N "E" ];
+    p ~name:"simple_assign" "Simple" [ N "Postfix"; T "ASSIGN"; N "E" ];
+    p ~name:"simple_incr" "Simple" [ T "ID"; T "PLUSPLUS" ];
+    p ~name:"simple_expr" "Simple" [ N "E" ];
+    p ~name:"simple_ret" "Simple" [ T "KW_return" ];
+    p ~name:"simple_ret_e" "Simple" [ T "KW_return"; N "E" ];
+    p ~name:"simple_break" "Simple" [ T "KW_break" ];
+    p ~name:"simple_continue" "Simple" [ T "KW_continue" ];
+    (* expressions, stratified for LALR(1) with C precedence *)
+    p ~name:"e_top" "E" [ N "Or" ];
+    p ~name:"or_or" "Or" [ N "Or"; T "OROR"; N "And" ];
+    p ~name:"or_and" "Or" [ N "And" ];
+    p ~name:"and_and" "And" [ N "And"; T "ANDAND"; N "Cmp" ];
+    p ~name:"and_cmp" "And" [ N "Cmp" ];
+    p ~name:"cmp_lt" "Cmp" [ N "Add"; T "LT"; N "Add" ];
+    p ~name:"cmp_le" "Cmp" [ N "Add"; T "LE"; N "Add" ];
+    p ~name:"cmp_gt" "Cmp" [ N "Add"; T "GT"; N "Add" ];
+    p ~name:"cmp_ge" "Cmp" [ N "Add"; T "GE"; N "Add" ];
+    p ~name:"cmp_eq" "Cmp" [ N "Add"; T "EQ"; N "Add" ];
+    p ~name:"cmp_ne" "Cmp" [ N "Add"; T "NE"; N "Add" ];
+    p ~name:"cmp_add" "Cmp" [ N "Add" ];
+    p ~name:"add_plus" "Add" [ N "Add"; T "PLUS"; N "Mul" ];
+    p ~name:"add_minus" "Add" [ N "Add"; T "MINUS"; N "Mul" ];
+    p ~name:"add_mul" "Add" [ N "Mul" ];
+    p ~name:"mul_star" "Mul" [ N "Mul"; T "STAR"; N "Unary" ];
+    p ~name:"mul_slash" "Mul" [ N "Mul"; T "SLASH"; N "Unary" ];
+    p ~name:"mul_percent" "Mul" [ N "Mul"; T "PERCENT"; N "Unary" ];
+    p ~name:"mul_unary" "Mul" [ N "Unary" ];
+    p ~name:"un_neg" "Unary" [ T "MINUS"; N "Unary" ];
+    p ~name:"un_not" "Unary" [ T "BANG"; N "Unary" ];
+    p ~name:"un_cast" "Unary" [ T "LP"; N "ScalarType"; T "RP"; N "Unary" ];
+    p ~name:"un_post" "Unary" [ N "Postfix" ];
+    p ~name:"post_subscript" "Postfix"
+      [ N "Postfix"; T "LSQ"; N "IndexList"; T "RSQ" ];
+    p ~name:"post_prim" "Postfix" [ N "Primary" ];
+    p ~name:"il_one" "IndexList" [ N "Index" ];
+    p ~name:"il_cons" "IndexList" [ N "IndexList"; T "COMMA"; N "Index" ];
+    p ~name:"ix_expr" "Index" [ N "E" ];
+    p ~name:"prim_int" "Primary" [ T "INTLIT" ];
+    p ~name:"prim_float" "Primary" [ T "FLOATLIT" ];
+    p ~name:"prim_true" "Primary" [ T "KW_true" ];
+    p ~name:"prim_false" "Primary" [ T "KW_false" ];
+    p ~name:"prim_str" "Primary" [ T "STRINGLIT" ];
+    p ~name:"prim_id" "Primary" [ T "ID" ];
+    p ~name:"prim_paren" "Primary" [ T "LP"; N "E"; T "RP" ];
+    p ~name:"prim_call" "Primary" [ T "ID"; T "LP"; N "ArgsOpt"; T "RP" ];
+    p ~name:"args_none" "ArgsOpt" [];
+    p ~name:"args_some" "ArgsOpt" [ N "ArgList" ];
+    p ~name:"al_one" "ArgList" [ N "E" ];
+    p ~name:"al_cons" "ArgList" [ N "ArgList"; T "COMMA"; N "E" ];
+  ]
+
+(** The host grammar fragment. *)
+let fragment : Grammar.Cfg.t =
+  { name = owner; terminals; layout; productions; start = Some "Program" }

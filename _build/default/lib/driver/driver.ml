@@ -1,0 +1,271 @@
+(** The extensible-translator driver (§II): a programmer picks a set of
+    language extensions, the system runs the composability analyses,
+    composes the grammar and attribute specifications with the host, and
+    produces a working translator for the customised language — "the
+    programmer is not required to have any knowledge of the language
+    composition process."
+
+    Pipeline: compose → scan/parse (context-aware) → build AST →
+    extension AST optimizations → semantic analysis → lowering to plain
+    parallel C → {emit C text | execute on the parallel runtime}. *)
+
+module Cfg = Grammar.Cfg
+
+type extension = {
+  x_name : string;
+  grammar : Cfg.t;
+  register : unit -> unit;
+  check_hooks : Cminus.Check.hooks;
+  lower_hooks : Cminus.Lower.hooks;
+  optimize : Cminus.Ast.program -> Cminus.Ast.program;
+  ag_spec : Ag.Wellformed.spec;
+  enables_rc : bool;
+}
+
+(* --- the extensions shipped with this repository ----------------------------- *)
+
+let matrix : extension =
+  {
+    x_name = Ext_matrix.Matrix_ext.name;
+    grammar = Ext_matrix.Matrix_ext.grammar;
+    register = Ext_matrix.Matrix_ext.register;
+    check_hooks = Ext_matrix.Matrix_ext.check_hooks;
+    lower_hooks = Ext_matrix.Matrix_ext.lower_hooks;
+    optimize = Ext_matrix.Matrix_ext.optimize;
+    ag_spec = Ext_matrix.Matrix_ext.ag_spec;
+    enables_rc = false;
+  }
+
+let transform : extension =
+  {
+    x_name = Ext_transform.Transform_ext.name;
+    grammar = Ext_transform.Transform_ext.grammar;
+    register = Ext_transform.Transform_ext.register;
+    check_hooks = Ext_transform.Transform_ext.check_hooks;
+    lower_hooks = Ext_transform.Transform_ext.lower_hooks;
+    optimize = Fun.id;
+    ag_spec = Ext_transform.Transform_ext.ag_spec;
+    enables_rc = false;
+  }
+
+let refptr : extension =
+  {
+    x_name = Ext_refptr.Refptr_ext.name;
+    grammar = Ext_refptr.Refptr_ext.grammar;
+    register = Ext_refptr.Refptr_ext.register;
+    check_hooks = Ext_refptr.Refptr_ext.check_hooks;
+    lower_hooks = Ext_refptr.Refptr_ext.lower_hooks;
+    optimize = Fun.id;
+    ag_spec = Ext_refptr.Refptr_ext.ag_spec;
+    enables_rc = Ext_refptr.Refptr_ext.enables_rc;
+  }
+
+let cilk : extension =
+  {
+    x_name = Ext_cilk.Cilk_ext.name;
+    grammar = Ext_cilk.Cilk_ext.grammar;
+    register = Ext_cilk.Cilk_ext.register;
+    check_hooks = Ext_cilk.Cilk_ext.check_hooks;
+    lower_hooks = Ext_cilk.Cilk_ext.lower_hooks;
+    optimize = Fun.id;
+    ag_spec = Ext_cilk.Cilk_ext.ag_spec;
+    enables_rc = false;
+  }
+
+let all_extensions = [ matrix; transform; refptr; cilk ]
+
+let extension_by_name n =
+  List.find_opt (fun x -> String.equal x.x_name n) all_extensions
+
+(* --- host AG spec (generated from the host grammar) ---------------------------- *)
+
+let host_ag_spec : Ag.Wellformed.spec =
+  let nts =
+    Cfg.nonterminals Cminus.Syntax.fragment
+    @ Cfg.nonterminals Ext_tuples.Tuples_ext.grammar
+    |> List.sort_uniq String.compare
+  in
+  let prod_decl (p : Cfg.production) =
+    Ag.Wellformed.full_prod ~owner:"host" ~lhs:p.Cfg.lhs
+      ~children:
+        (List.filter_map
+           (function Cfg.N n -> Some n | Cfg.T _ -> None)
+           p.Cfg.rhs)
+      ~defines:[ "errors"; "type" ] p.Cfg.p_name
+  in
+  {
+    sp_name = "host";
+    attrs =
+      [
+        {
+          a_name = "errors";
+          a_mode = Ag.Wellformed.Syn;
+          a_autocopy = false;
+          a_occurs = nts;
+          a_owner = "host";
+          a_default = false;
+        };
+        {
+          a_name = "type";
+          a_mode = Ag.Wellformed.Syn;
+          a_autocopy = false;
+          a_occurs = nts;
+          a_owner = "host";
+          a_default = false;
+        };
+        {
+          a_name = "env";
+          a_mode = Ag.Wellformed.Inh;
+          a_autocopy = true;
+          a_occurs = nts;
+          a_owner = "host";
+          a_default = false;
+        };
+      ];
+    prods =
+      List.map prod_decl
+        (Cminus.Syntax.fragment.Cfg.productions
+        @ Ext_tuples.Tuples_ext.grammar.Cfg.productions);
+  }
+
+(* --- composition ------------------------------------------------------------------ *)
+
+type composed = {
+  selected : extension list;
+  table : Grammar.Lalr.t;
+  parser_ : Parser.Driver.t;
+  determinism_reports : Grammar.Determinism.report list;
+  ag_reports : Ag.Wellformed.report list;
+  rc : bool;
+}
+
+exception Compose_failed of string
+
+(** The effective host: CMINUS plus the tuples fragment, which failed
+    [isComposable] and is therefore "packaged as part of the host
+    language" (§VI-A). *)
+let effective_host : Cfg.t =
+  Cfg.compose Cminus.Syntax.fragment [ Ext_tuples.Tuples_ext.grammar ]
+
+(** [compose ?force exts] — run both modular analyses for each selected
+    extension, then build the composed scanner/parser.  With [force:false]
+    (default) an extension failing an analysis aborts composition, which
+    is the guarantee the paper's workflow gives the non-expert user. *)
+let compose ?(force = false) (selected : extension list) : composed =
+  let det_reports =
+    List.map
+      (fun x -> Grammar.Determinism.check effective_host x.grammar)
+      selected
+  in
+  let ag_reports =
+    List.map
+      (fun x -> Ag.Wellformed.check ~host:host_ag_spec x.ag_spec)
+      selected
+  in
+  if not force then begin
+    List.iter
+      (fun (r : Grammar.Determinism.report) ->
+        if not r.Grammar.Determinism.passes then
+          raise
+            (Compose_failed
+               (Fmt.str "%a" Grammar.Determinism.pp_report r)))
+      det_reports;
+    List.iter
+      (fun (r : Ag.Wellformed.report) ->
+        if not r.Ag.Wellformed.passes then
+          raise (Compose_failed (Fmt.str "%a" Ag.Wellformed.pp_report r)))
+      ag_reports
+  end;
+  let cfg = Cfg.compose effective_host (List.map (fun x -> x.grammar) selected) in
+  let table = Grammar.Lalr.build cfg in
+  if not (Grammar.Lalr.is_lalr1 table) then
+    raise
+      (Compose_failed
+         (Fmt.str "composed grammar has conflicts:@.%a"
+            (Fmt.list ~sep:Fmt.cut (Grammar.Lalr.pp_conflict table.Grammar.Lalr.g))
+            table.Grammar.Lalr.conflicts));
+  Ext_tuples.Tuples_ext.register ();
+  List.iter (fun x -> x.register ()) selected;
+  {
+    selected;
+    table;
+    parser_ = Parser.Driver.create table;
+    determinism_reports = det_reports;
+    ag_reports;
+    rc = List.exists (fun x -> x.enables_rc) selected;
+  }
+
+(* --- pipeline --------------------------------------------------------------------- *)
+
+type 'a outcome = Ok_ of 'a | Failed of Support.Diag.t list
+
+(** [frontend c src] — scan, parse, build and typecheck [src]; applies each
+    extension's AST-level optimizations in between.  Returns the typed AST
+    or diagnostics. *)
+let frontend ?(optimize = true) (c : composed) (src : string) :
+    Cminus.Ast.program outcome =
+  match Parser.Driver.parse c.parser_ src with
+  | Error e -> Failed [ Parser.Driver.error_to_diag e ]
+  | Ok tree -> (
+      match Cminus.Build.program tree with
+      | exception Cminus.Build.Build_error (m, span) ->
+          Failed [ Support.Diag.error ~phase:"build" ~span "%s" m ]
+      | ast ->
+          let ast =
+            if optimize then
+              List.fold_left (fun a x -> x.optimize a) ast c.selected
+            else ast
+          in
+          let diags =
+            Cminus.Check.check_program
+              (List.map (fun x -> x.check_hooks) c.selected)
+              ast
+          in
+          if Support.Diag.has_errors diags then Failed diags else Ok_ ast)
+
+(** [lower c ast] — translate to the plain-C IR. *)
+let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
+    (c : composed) (ast : Cminus.Ast.program) : Cir.Ir.program outcome =
+  ignore copy_elim;
+  match
+    Cminus.Lower.lower_program ~fuse ~auto_par
+      (List.map (fun x -> x.lower_hooks) c.selected)
+      ~rc:c.rc ast
+  with
+  | prog -> Ok_ prog
+  | exception Cminus.Lower.Lower_error (m, span) ->
+      Failed [ Support.Diag.error ~phase:"lower" ~span "%s" m ]
+
+(** [compile_to_c c src] — the paper's headline artifact: extended C in,
+    plain parallel C out. *)
+let compile_to_c ?fuse ?auto_par (c : composed) (src : string) :
+    string outcome =
+  match frontend c src with
+  | Failed d -> Failed d
+  | Ok_ ast -> (
+      match lower ?fuse ?auto_par c ast with
+      | Failed d -> Failed d
+      | Ok_ prog -> Ok_ (Cir.Emit.program prog))
+
+(** [run c src args] — compile and execute on the parallel runtime.
+    [pool] supplies the enhanced fork-join worker pool; [dir] hosts the
+    program's matrix files. *)
+let run ?fuse ?auto_par ?pool ?dir ?(optimize = true) (c : composed)
+    (src : string) (args : Interp.Eval.value list) :
+    Interp.Eval.value outcome =
+  match frontend ~optimize c src with
+  | Failed d -> Failed d
+  | Ok_ ast -> (
+      match lower ?fuse ?auto_par c ast with
+      | Failed d -> Failed d
+      | Ok_ prog -> (
+          match Interp.Eval.run ?pool ?dir prog args with
+          | v -> Ok_ v
+          | exception Interp.Eval.Interp_error m ->
+              Failed
+                [
+                  Support.Diag.error ~phase:"run" ~span:Support.Pos.dummy_span
+                    "%s" m;
+                ]))
+
+let diags_to_string ds = Fmt.str "%a" Support.Diag.pp_list ds

@@ -1,0 +1,1 @@
+lib/eddy/conncomp.ml: Array Fun Hashtbl List Runtime

@@ -1,0 +1,1 @@
+lib/eddy/programs.ml: Printf

@@ -1,0 +1,1 @@
+lib/eddy/score.ml: Array List Runtime

@@ -1,0 +1,1 @@
+lib/eddy/ssh_gen.ml: Array Buffer Fun List Printf Runtime String

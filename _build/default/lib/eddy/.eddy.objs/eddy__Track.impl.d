@@ -1,0 +1,1 @@
+lib/eddy/track.ml: Array Hashtbl List

@@ -1,0 +1,98 @@
+(** Native reference implementation of the temporal eddy-scoring algorithm
+    of §IV (Fig 7/8): find troughs between local maxima in each SSH time
+    series and score every trough point with the area between the trough
+    and the peak-to-peak line.  "Large areas will then correspond to
+    segments of the time series that underwent substantial drops and
+    rises, and those that are shallow … can be associated with noise."
+
+    The translated Fig 8 program is tested against this oracle. *)
+
+module Nd = Runtime.Ndarray
+module S = Runtime.Scalar
+
+(** [get_trough ts i] — Fig 8's [getTrough]: from local maximum [i], walk
+    down then up to the next local maximum; returns (trough values,
+    beginning, end). *)
+let get_trough (ts : float array) (i : int) : float array * int * int =
+  let n = Array.length ts in
+  let beginning = i in
+  let i = ref i in
+  while !i + 1 < n && ts.(!i) >= ts.(!i + 1) do
+    incr i
+  done;
+  while !i + 1 < n && ts.(!i) < ts.(!i + 1) do
+    incr i
+  done;
+  (Array.sub ts beginning (!i - beginning + 1), beginning, !i)
+
+(** [compute_area trough] — Fig 8's [computeArea]: area between the trough
+    and the straight line joining its end points, broadcast to every
+    trough position. *)
+let compute_area (aoi : float array) : float array =
+  let n = Array.length aoi in
+  if n < 2 then Array.make n 0.
+  else begin
+    let y1 = aoi.(0) and y2 = aoi.(n - 1) in
+    let x1 = 0. and x2 = float_of_int (n - 1) in
+    let m = (y1 -. y2) /. (x1 -. x2) in
+    let b = y1 -. (m *. x1) in
+    let area = ref 0. in
+    for i = 0 to n - 1 do
+      let line = (m *. float_of_int i) +. b in
+      area := !area +. (line -. aoi.(i))
+    done;
+    Array.make n !area
+  end
+
+(** [score_ts ts] — Fig 8's [scoreTS]: trim to the first local maximum,
+    then score every trough. *)
+let score_ts (ts : float array) : float array =
+  let n = Array.length ts in
+  let scores = Array.make n 0. in
+  if n >= 2 then begin
+    let i = ref 0 in
+    while !i + 1 < n && ts.(!i) < ts.(!i + 1) do
+      incr i
+    done;
+    while !i < n - 1 do
+      let trough, beginning, j = get_trough ts !i in
+      let area = compute_area trough in
+      Array.blit area 0 scores beginning (Array.length area);
+      if j <= !i then i := n (* safety: no progress possible *)
+      else i := j
+    done
+  end;
+  scores
+
+(** [score_cube cube] — map {!score_ts} over the third dimension of an SSH
+    cube (the [matrixMap(scoreTS, data, [2])] of Fig 8's main). *)
+let score_cube (cube : Nd.t) : Nd.t =
+  let sh = Nd.shape cube in
+  let out = Nd.create Nd.EFloat sh in
+  for i = 0 to sh.(0) - 1 do
+    for j = 0 to sh.(1) - 1 do
+      let ts =
+        Array.init sh.(2) (fun k -> S.to_float (Nd.get cube [| i; j; k |]))
+      in
+      let sc = score_ts ts in
+      for k = 0 to sh.(2) - 1 do
+        Nd.set out [| i; j; k |] (S.F sc.(k))
+      done
+    done
+  done;
+  out
+
+(** Highest-scoring grid points of a scored cube: candidate eddy tracks. *)
+let top_points (scored : Nd.t) (k : int) : (int * int * int * float) list =
+  let sh = Nd.shape scored in
+  let acc = ref [] in
+  for i = 0 to sh.(0) - 1 do
+    for j = 0 to sh.(1) - 1 do
+      for t = 0 to sh.(2) - 1 do
+        let v = S.to_float (Nd.get scored [| i; j; t |]) in
+        acc := (i, j, t, v) :: !acc
+      done
+    done
+  done;
+  List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) !acc
+  |> List.filteri (fun idx _ -> idx < k)

@@ -1,0 +1,1 @@
+lib/exts/cilk/cilk_ext.ml: Ag Cir Cminus Grammar Hashtbl Lexer List Option Parser Printf

@@ -1,0 +1,1 @@
+lib/exts/matrix/check.ml: Cminus Hashtbl List Nodes Option Runtime String

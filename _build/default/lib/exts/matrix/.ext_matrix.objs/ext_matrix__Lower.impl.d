@@ -1,0 +1,1 @@
+lib/exts/matrix/lower.ml: Cir Cminus Fun List Nodes Printf Runtime

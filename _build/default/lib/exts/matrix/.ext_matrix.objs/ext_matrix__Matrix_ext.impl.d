@@ -1,0 +1,1 @@
+lib/exts/matrix/matrix_ext.ml: Ag Check Cminus Lower Opt Syntax

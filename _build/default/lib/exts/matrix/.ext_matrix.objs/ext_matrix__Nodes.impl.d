@@ -1,0 +1,1 @@
+lib/exts/matrix/nodes.ml: Cminus Printf

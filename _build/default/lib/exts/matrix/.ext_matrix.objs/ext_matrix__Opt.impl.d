@@ -1,0 +1,1 @@
+lib/exts/matrix/opt.ml: Cminus List Nodes Option

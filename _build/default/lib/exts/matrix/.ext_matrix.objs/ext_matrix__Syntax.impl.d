@@ -1,0 +1,1 @@
+lib/exts/matrix/syntax.ml: Cminus Grammar Hashtbl Lexer List Nodes Parser

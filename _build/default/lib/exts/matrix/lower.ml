@@ -1,0 +1,799 @@
+(** Lowering of the matrix constructs to plain-C loop nests (§III): the
+    translation the paper shows in Fig 3 for the with-loop, plus the
+    general §III-A3 indexing (mask/gather indices materialise selection
+    vectors, exactly what generated C does), elementwise and linear-algebra
+    operator overloads, matrixMap with its lifted per-slice function, and
+    the [init]/[dimSize]/[readMatrix]/[writeMatrix] builtins.
+
+    Parallel code generation (§III-C): when the driver enables
+    [auto_par], the outermost loop of every genarray and the matrixMap
+    iteration space become [ParFor] regions executed by the enhanced
+    fork-join pool. *)
+
+module L = Cminus.Lower
+module T = Cminus.Types
+module A = Cminus.Ast
+module S = Runtime.Scalar
+module Nd = Runtime.Ndarray
+open Cir.Ir
+
+let span_err = L.err
+
+(* Current subscript context for [end]: (matrix handle, dimension). *)
+let index_ctx : (expr * int) option ref = ref None
+
+let ety = L.ety
+
+let mat_of_ty span = function
+  | T.TMat (e, r) -> (e, r)
+  | ty -> span_err span "internal: expected a matrix type, got %s" (T.to_string ty)
+
+(* Ensure a lowered matrix value is a variable (bind a temp otherwise). *)
+let bind_mat t (stmts, e) (ty : T.ty) : stmt list * string =
+  match e with
+  | Var v -> (stmts, v)
+  | e ->
+      let tmp = L.fresh t "m" in
+      (stmts @ [ Decl (T.to_ctype ty, tmp, Some e) ], tmp)
+
+(* Bind any scalar expression so it is evaluated once. *)
+let bind_scalar t (stmts, e) (ty : T.ty) : stmt list * expr =
+  match e with
+  | Var _ | Int _ | Float _ | Bool _ -> (stmts, e)
+  | e ->
+      let tmp = L.fresh t "s" in
+      (stmts @ [ Decl (T.to_ctype ty, tmp, Some e) ], Var tmp)
+
+(** Row-major flat offset of [idxs] given per-dimension extents. *)
+let flat_offset (extents : expr list) (idxs : expr list) : expr =
+  match (extents, idxs) with
+  | _ :: ds, i0 :: is ->
+      List.fold_left2 (fun acc d i -> fold_expr ((acc *: d) +: i)) i0 ds is
+  | _ -> Int 0
+
+let dims_of v rank = List.init rank (fun d -> MDim (Var v, Int d))
+
+(* Elementwise conversion of a loaded element. *)
+let conv ~(from : Nd.elem) ~(to_ : Nd.elem) e =
+  match (from, to_) with
+  | Nd.EInt, Nd.EFloat -> Unop (FloatOfInt, e)
+  | _ -> e
+
+(* --- elementwise loops (§III-A2) ------------------------------------------- *)
+
+(* Build: r = alloc(out_elem, dims of model); for i < size(model):
+     r[i] = op(load a, load b).  [load] gets the flat index var. *)
+let ew_loop t ~(model : string) ~(rank : int) ~(out_elem : Nd.elem)
+    ~(body : expr -> expr) : stmt list * expr =
+  let r = L.fresh t "ew" and i = L.fresh t "i" in
+  let alloc = MAlloc (out_elem, dims_of model rank) in
+  let stmts =
+    [
+      Decl (CMat (out_elem, rank), r, Some alloc);
+      For
+        {
+          index = i;
+          bound = MSize (Var model);
+          body = [ MSetFlat (Var r, Var i, body (Var i)) ];
+        };
+    ]
+  in
+  L.add_pending t r;
+  (stmts, Var r)
+
+let lower_mat t (e : A.expr) : stmt list * string =
+  bind_mat t (L.lower_expr t e) (ety e)
+
+let cir_binop (op : A.binop) : binop =
+  match op with
+  | A.BArith o -> Arith o
+  | A.BCmp o -> Cmp o
+  | A.BLogic o -> Logic o
+  | A.BExt o when o = Nodes.op_dotstar -> Arith S.Mul
+  | A.BExt o -> invalid_arg ("cir_binop: " ^ o)
+
+let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
+    (stmt list * expr) option =
+  let ta = ety a and tb = ety b in
+  match (op, ta, tb) with
+  (* x1 :: x2 — materialise the integer range vector (Fig 8). *)
+  | A.BExt o, T.TInt, T.TInt when o = Nodes.op_range ->
+      let sa, ea = bind_scalar t (L.lower_expr t a) T.TInt in
+      let sb, eb = bind_scalar t (L.lower_expr t b) T.TInt in
+      let n = L.fresh t "n" and r = L.fresh t "rng" and i = L.fresh t "i" in
+      let stmts =
+        sa @ sb
+        @ [
+            Decl (CInt, n, Some (fold_expr ((eb -: ea) +: Int 1)));
+            If (Var n <: Int 0, [ Assign (LVar n, Int 0) ], []);
+            Decl (CMat (Nd.EInt, 1), r, Some (MAlloc (Nd.EInt, [ Var n ])));
+            For
+              {
+                index = i;
+                bound = Var n;
+                body = [ MSetFlat (Var r, Var i, ea +: Var i) ];
+              };
+          ]
+      in
+      L.add_pending t r;
+      Some (stmts, Var r)
+  (* linear-algebra matrix multiplication (§III-A2) *)
+  | A.BArith S.Mul, T.TMat (e1, 2), T.TMat (_, 2) ->
+      let sa, va = lower_mat t a in
+      let sb, vb = lower_mat t b in
+      let m = MDim (Var va, Int 0)
+      and k = MDim (Var va, Int 1)
+      and n = MDim (Var vb, Int 1) in
+      let r = L.fresh t "mm" in
+      let i = L.fresh t "i" and j = L.fresh t "j" and l = L.fresh t "l" in
+      let acc = L.fresh t "acc" in
+      let elem_zero = if e1 = Nd.EFloat then Float 0. else Int 0 in
+      let cty = if e1 = Nd.EFloat then CFloat else CInt in
+      let body =
+        [
+          Decl (cty, acc, Some elem_zero);
+          For
+            {
+              index = l;
+              bound = k;
+              body =
+                [
+                  Assign
+                    ( LVar acc,
+                      Var acc
+                      +: Binop
+                           ( Arith S.Mul,
+                             MGetFlat (Var va, (Var i *: k) +: Var l),
+                             MGetFlat (Var vb, (Var l *: n) +: Var j) ) );
+                ];
+            };
+          MSetFlat (Var r, (Var i *: n) +: Var j, Var acc);
+        ]
+      in
+      let stmts =
+        sa @ sb
+        @ [
+            Decl (CMat (e1, 2), r, Some (MAlloc (e1, [ m; n ])));
+            For
+              {
+                index = i;
+                bound = m;
+                body = [ For { index = j; bound = n; body } ];
+              };
+          ]
+      in
+      L.add_pending t r;
+      Some (stmts, Var r)
+  (* matrix (.) matrix elementwise: + - / % .* comparisons logic *)
+  | _, T.TMat (e1, r1), T.TMat (_, _) ->
+      let out_elem, _ = mat_of_ty span rty in
+      let sa, va = lower_mat t a in
+      let sb, vb = lower_mat t b in
+      let arith_elem = match rty with T.TMat (e, _) -> e | _ -> e1 in
+      let s, v =
+        ew_loop t ~model:va ~rank:r1 ~out_elem ~body:(fun i ->
+            let load_conv m from =
+              match op with
+              | A.BArith _ | A.BExt _ ->
+                  conv ~from ~to_:arith_elem (MGetFlat (Var m, i))
+              | _ -> MGetFlat (Var m, i)
+            in
+            Binop (cir_binop op, load_conv va e1, load_conv vb e1))
+      in
+      Some (sa @ sb @ s, v)
+  (* matrix (.) scalar and scalar (.) matrix *)
+  | _, T.TMat (e1, r1), sc when T.is_scalar sc ->
+      let out_elem, _ = mat_of_ty span rty in
+      let sa, va = lower_mat t a in
+      let sb, eb = bind_scalar t (L.lower_expr t b) sc in
+      let arith_elem = match rty with T.TMat (e, _) -> e | _ -> e1 in
+      let scalar_conv =
+        match (sc, arith_elem) with
+        | T.TInt, Nd.EFloat -> Unop (FloatOfInt, eb)
+        | T.TFloat, Nd.EInt -> Unop (IntOfFloat, eb)
+        | _ -> eb
+      in
+      let s, v =
+        ew_loop t ~model:va ~rank:r1 ~out_elem ~body:(fun i ->
+            Binop
+              ( cir_binop op,
+                conv ~from:e1 ~to_:arith_elem (MGetFlat (Var va, i)),
+                scalar_conv ))
+      in
+      Some (sa @ sb @ s, v)
+  | _, sc, T.TMat (e1, r1) when T.is_scalar sc ->
+      let out_elem, _ = mat_of_ty span rty in
+      let sa, ea = bind_scalar t (L.lower_expr t a) sc in
+      let sb, vb = lower_mat t b in
+      let arith_elem = match rty with T.TMat (e, _) -> e | _ -> e1 in
+      let scalar_conv =
+        match (sc, arith_elem) with
+        | T.TInt, Nd.EFloat -> Unop (FloatOfInt, ea)
+        | T.TFloat, Nd.EInt -> Unop (IntOfFloat, ea)
+        | _ -> ea
+      in
+      let s, v =
+        ew_loop t ~model:vb ~rank:r1 ~out_elem ~body:(fun i ->
+            Binop
+              ( cir_binop op,
+                scalar_conv,
+                conv ~from:e1 ~to_:arith_elem (MGetFlat (Var vb, i)) ))
+      in
+      Some (sa @ sb @ s, v)
+  | _ -> None
+
+let h_unop t (op : A.unop) (a : A.expr) (rty : T.ty) _span :
+    (stmt list * expr) option =
+  match ety a with
+  | T.TMat (e1, r1) ->
+      let out_elem = match rty with T.TMat (e, _) -> e | _ -> e1 in
+      let sa, va = lower_mat t a in
+      let s, v =
+        ew_loop t ~model:va ~rank:r1 ~out_elem ~body:(fun i ->
+            match op with
+            | A.UNeg -> Unop (Neg, MGetFlat (Var va, i))
+            | A.UNot -> Unop (Not, MGetFlat (Var va, i)))
+      in
+      Some (sa @ s, v)
+  | _ -> None
+
+(* --- subscripting (§III-A3) ---------------------------------------------------- *)
+
+type spec =
+  | SAt of expr
+  | SAll
+  | SGather of string  (** variable holding a 1-D int selection vector *)
+
+(* Lower one index item for dimension [d] of matrix var [base]. *)
+let lower_index t (base : string) (base_ty : T.ty) (d : int) (ix : A.index) :
+    stmt list * spec =
+  match ix with
+  | A.IAll _ -> ([], SAll)
+  | A.IExpr e -> (
+      let saved = !index_ctx in
+      index_ctx := Some (Var base, d);
+      let lowered = L.lower_expr t e in
+      index_ctx := saved;
+      match ety e with
+      | T.TInt ->
+          let s, v = bind_scalar t lowered T.TInt in
+          (s, SAt v)
+      | T.TMat (Nd.EInt, 1) ->
+          let s, v = bind_mat t lowered (ety e) in
+          (s, SGather v)
+      | T.TMat (Nd.EBool, 1) ->
+          (* Logical indexing: materialise the selection vector of true
+             positions (what the generated C does for mask indices). *)
+          let s, mask = bind_mat t lowered (ety e) in
+          let cnt = L.fresh t "cnt"
+          and sel = L.fresh t "sel"
+          and i = L.fresh t "i"
+          and k = L.fresh t "k" in
+          let build =
+            [
+              Decl (CInt, cnt, Some (Int 0));
+              For
+                {
+                  index = i;
+                  bound = MSize (Var mask);
+                  body =
+                    [
+                      If
+                        ( MGetFlat (Var mask, Var i),
+                          [ Assign (LVar cnt, Var cnt +: Int 1) ],
+                          [] );
+                    ];
+                };
+              Decl (CMat (Nd.EInt, 1), sel, Some (MAlloc (Nd.EInt, [ Var cnt ])));
+              Decl (CInt, k, Some (Int 0));
+              For
+                {
+                  index = i;
+                  bound = MSize (Var mask);
+                  body =
+                    [
+                      If
+                        ( MGetFlat (Var mask, Var i),
+                          [
+                            MSetFlat (Var sel, Var k, Var i);
+                            Assign (LVar k, Var k +: Int 1);
+                          ],
+                          [] );
+                    ];
+                };
+            ]
+          in
+          L.add_pending t sel;
+          (s @ build, SGather sel)
+      | ty ->
+          span_err e.A.espan "internal: index of type %s at dimension %d of %s"
+            (T.to_string ty) d
+            (T.to_string base_ty))
+
+let lower_specs t base base_ty indices =
+  List.fold_left
+    (fun (stmts, specs, d) ix ->
+      let s, sp = lower_index t base base_ty d ix in
+      (stmts @ s, specs @ [ sp ], d + 1))
+    ([], [], 0) indices
+  |> fun (s, sp, _) -> (s, sp)
+
+(* Per-dimension result extent for a kept spec. *)
+let spec_extent base d = function
+  | SAll -> MDim (Var base, Int d)
+  | SGather g -> MSize (Var g)
+  | SAt _ -> invalid_arg "spec_extent"
+
+let h_subscript t (base : A.expr) (indices : A.index list) (rty : T.ty) span :
+    (stmt list * expr) option =
+  match ety base with
+  | T.TMat (_elem, rank) ->
+      let sb, vb = lower_mat t base in
+      let si, specs = lower_specs t vb (ety base) indices in
+      let all_at = List.for_all (function SAt _ -> true | _ -> false) specs in
+      if all_at then
+        (* (a) standard indexing: extract one element, no allocation *)
+        let idxs = List.map (function SAt e -> e | _ -> assert false) specs in
+        let off = flat_offset (dims_of vb rank) idxs in
+        Some (sb @ si, MGetFlat (Var vb, off))
+      else begin
+        (* General slice: allocate and copy the selected region. *)
+        let out_elem, _out_rank = mat_of_ty span rty in
+        let kept_dims =
+          List.mapi (fun d sp -> (d, sp)) specs
+          |> List.filter_map (fun (d, sp) ->
+                 match sp with SAt _ -> None | _ -> Some d)
+        in
+        let r = L.fresh t "slice" in
+        let out_vars = List.map (fun _ -> L.fresh t "o") kept_dims in
+        let extents =
+          List.map (fun d -> spec_extent vb d (List.nth specs d)) kept_dims
+        in
+        (* source index per dimension *)
+        let src_idxs =
+          List.mapi
+            (fun d sp ->
+              match sp with
+              | SAt e -> e
+              | SAll ->
+                  let pos =
+                    List.length (List.filter (fun x -> x < d) kept_dims)
+                  in
+                  Var (List.nth out_vars pos)
+              | SGather g ->
+                  let pos =
+                    List.length (List.filter (fun x -> x < d) kept_dims)
+                  in
+                  MGetFlat (Var g, Var (List.nth out_vars pos)))
+            specs
+        in
+        let src_off = flat_offset (dims_of vb rank) src_idxs in
+        let dst_off =
+          flat_offset extents (List.map (fun v -> Var v) out_vars)
+        in
+        let inner = [ MSetFlat (Var r, dst_off, MGetFlat (Var vb, src_off)) ] in
+        let loops =
+          List.fold_right2
+            (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+            out_vars extents inner
+        in
+        let stmts =
+          sb @ si
+          @ (Decl (CMat (out_elem, List.length kept_dims), r,
+               Some (MAlloc (out_elem, extents)))
+            :: loops)
+        in
+        L.add_pending t r;
+        Some (stmts, Var r)
+      end
+  | _ -> None
+
+let coerce_scalar (from_ty : T.ty) (to_elem : Nd.elem) e =
+  match (from_ty, to_elem) with
+  | T.TInt, Nd.EFloat -> Unop (FloatOfInt, e)
+  | T.TFloat, Nd.EInt -> Unop (IntOfFloat, e)
+  | _ -> e
+
+let h_subscript_assign t (base : A.expr) (indices : A.index list)
+    (rhs : A.expr) span : stmt list option =
+  match ety base with
+  | T.TMat (elem, rank) ->
+      let sb, vb = lower_mat t base in
+      let si, specs = lower_specs t vb (ety base) indices in
+      let rhs_ty = ety rhs in
+      let all_at = List.for_all (function SAt _ -> true | _ -> false) specs in
+      if all_at then begin
+        (* single-element store *)
+        let idxs = List.map (function SAt e -> e | _ -> assert false) specs in
+        let off = flat_offset (dims_of vb rank) idxs in
+        let sr, er = L.lower_expr t rhs in
+        let er = coerce_scalar rhs_ty elem er in
+        Some (sb @ si @ sr @ [ MSetFlat (Var vb, off, er) ])
+      end
+      else begin
+        let kept_dims =
+          List.mapi (fun d sp -> (d, sp)) specs
+          |> List.filter_map (fun (d, sp) ->
+                 match sp with SAt _ -> None | _ -> Some d)
+        in
+        let out_vars = List.map (fun _ -> L.fresh t "o") kept_dims in
+        let extents =
+          List.map (fun d -> spec_extent vb d (List.nth specs d)) kept_dims
+        in
+        let src_idxs =
+          List.mapi
+            (fun d sp ->
+              match sp with
+              | SAt e -> e
+              | SAll ->
+                  let pos =
+                    List.length (List.filter (fun x -> x < d) kept_dims)
+                  in
+                  Var (List.nth out_vars pos)
+              | SGather g ->
+                  let pos =
+                    List.length (List.filter (fun x -> x < d) kept_dims)
+                  in
+                  MGetFlat (Var g, Var (List.nth out_vars pos)))
+            specs
+        in
+        let dst_off = flat_offset (dims_of vb rank) src_idxs in
+        match rhs_ty with
+        | rt when T.is_scalar rt ->
+            (* fill assignment *)
+            let sr, er = L.lower_expr t rhs in
+            let er = coerce_scalar rt elem er in
+            let inner = [ MSetFlat (Var vb, dst_off, er) ] in
+            let loops =
+              List.fold_right2
+                (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+                out_vars extents inner
+            in
+            Some (sb @ si @ sr @ loops)
+        | T.TMat (relem, _) ->
+            let sr, vr = lower_mat t rhs in
+            let roff =
+              flat_offset extents (List.map (fun v -> Var v) out_vars)
+            in
+            let inner =
+              [
+                MSetFlat
+                  ( Var vb,
+                    dst_off,
+                    conv ~from:relem ~to_:elem (MGetFlat (Var vr, roff)) );
+              ]
+            in
+            let loops =
+              List.fold_right2
+                (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+                out_vars extents inner
+            in
+            Some (sb @ si @ sr @ loops)
+        | ty ->
+            span_err span "cannot assign %s into a matrix region"
+              (T.to_string ty)
+      end
+  | _ -> None
+
+(* --- with-loops (§III-A4, the Fig 1 → Fig 3 translation) ---------------------- *)
+
+(* Normalise one generator dimension to a 0-based canonical loop:
+   returns (loop binder, start expr).  When the start is statically 0 the
+   loop variable IS the generator id — which is what lets the programmer
+   name it in a §V transform script ("parallelize i"). *)
+let gen_loop_var t (id : string) (start : expr) :
+    [ `Direct of string | `Shifted of string * string * expr ] =
+  match fold_expr start with
+  | Int 0 -> `Direct id
+  | s -> `Shifted (id, L.fresh t ("g" ^ id), s)
+
+let lower_generator t (gen : Nodes.generator) :
+    stmt list * (string * expr * stmt list) list * expr list =
+  (* Per dimension: (loop index var, trip count, body prelude binding the
+     generator id); plus the actual-index expression list. *)
+  let lower_bound b = bind_scalar t (L.lower_expr t b) T.TInt in
+  let prelude = ref [] in
+  let dims =
+    List.map2
+      (fun id (lo, hi) ->
+        let slo, elo = lower_bound lo in
+        let shi, ehi = lower_bound hi in
+        prelude := !prelude @ slo @ shi;
+        let start =
+          match gen.Nodes.lo_rel with
+          | Nodes.RLe -> elo
+          | Nodes.RLt -> fold_expr (elo +: Int 1)
+        in
+        let stop =
+          match gen.Nodes.hi_rel with
+          | Nodes.RLt -> ehi
+          | Nodes.RLe -> fold_expr (ehi +: Int 1)
+        in
+        let count = fold_expr (stop -: start) in
+        match gen_loop_var t id start with
+        | `Direct v -> (id, v, count, [])
+        | `Shifted (id, v, s) ->
+            (id, v, count, [ Decl (CInt, id, Some (Var v +: s)) ]))
+      gen.Nodes.ids
+      (List.combine gen.Nodes.lo gen.Nodes.hi)
+  in
+  let loops =
+    List.map (fun (_, v, count, binds) -> (v, count, binds)) dims
+  in
+  let actual = List.map (fun (id, _, _, _) -> Var id) dims in
+  (!prelude, loops, actual)
+
+(* Wrap [inner] in the generator loop nest; the outermost loop becomes a
+   ParFor under auto-parallelization (§III-C). *)
+let build_nest t loops inner =
+  let rec go = function
+    | [] -> inner
+    | (v, count, binds) :: rest ->
+        [ For { index = v; bound = count; body = binds @ go rest } ]
+  in
+  match go loops with
+  | [ For l ] when t.L.auto_par -> [ ParFor l ]
+  | nest -> nest
+
+let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
+    _span : stmt list * expr =
+  let prelude, loops, actual = lower_generator t gen in
+  match op with
+  | Nodes.OGenarray (shape, body) ->
+      let out_elem, out_rank = (match rty with
+        | T.TMat (e, r) -> (e, r)
+        | _ -> (Nd.EFloat, List.length shape))
+      in
+      let sshape, eshape =
+        List.fold_left
+          (fun (ss, es) d ->
+            let s, e = bind_scalar t (L.lower_expr t d) T.TInt in
+            (ss @ s, es @ [ e ]))
+          ([], []) shape
+      in
+      let r = L.fresh t "gen" in
+      let sbody, ebody = L.lower_expr t body in
+      let ebody =
+        match (ety body, out_elem) with
+        | T.TInt, Nd.EFloat -> Unop (FloatOfInt, ebody)
+        | _ -> ebody
+      in
+      let inner = sbody @ [ MSetFlat (Var r, flat_offset eshape actual, ebody) ] in
+      let nest = build_nest t loops inner in
+      let stmts =
+        prelude @ sshape
+        @ (Decl (CMat (out_elem, out_rank), r, Some (MAlloc (out_elem, eshape)))
+          :: nest)
+      in
+      if t.L.fuse_with_loops then begin
+        L.add_pending t r;
+        (stmts, Var r)
+      end
+      else begin
+        (* Library-style baseline (§III-A5): "a library implementation
+           would likely evaluate the result of the with-loops into a
+           temporary variable which is then copied" — materialise that
+           extra copy so the fusion benchmark can measure it. *)
+        let cpy = L.fresh t "libcpy" and i = L.fresh t "i" in
+        let copy_stmts =
+          [
+            Comment "library-style result copy (fusion disabled)";
+            Decl
+              ( CMat (out_elem, out_rank),
+                cpy,
+                Some (MAlloc (out_elem, dims_of r out_rank)) );
+            For
+              {
+                index = i;
+                bound = MSize (Var r);
+                body = [ MSetFlat (Var cpy, Var i, MGetFlat (Var r, Var i)) ];
+              };
+          ]
+          @ L.rc_dec t (Var r)
+        in
+        L.add_pending t cpy;
+        (stmts @ copy_stmts, Var cpy)
+      end
+  | Nodes.OFold (fop, base, body) ->
+      let acc_ty = match rty with T.TFloat -> CFloat | T.TBool -> CBool | _ -> CInt in
+      let acc = L.fresh t "acc" in
+      let sbase, ebase = L.lower_expr t base in
+      let ebase =
+        match (ety base, rty) with
+        | T.TInt, T.TFloat -> Unop (FloatOfInt, ebase)
+        | _ -> ebase
+      in
+      let sbody, ebody = L.lower_expr t body in
+      let ebody =
+        match (ety body, rty) with
+        | T.TInt, T.TFloat -> Unop (FloatOfInt, ebody)
+        | _ -> ebody
+      in
+      let update =
+        match fop with
+        | Nodes.FPlus -> [ Assign (LVar acc, Var acc +: ebody) ]
+        | Nodes.FTimes -> [ Assign (LVar acc, Var acc *: ebody) ]
+        | Nodes.FMin ->
+            let v = L.fresh t "v" in
+            [
+              Decl (acc_ty, v, Some ebody);
+              If (Var v <: Var acc, [ Assign (LVar acc, Var v) ], []);
+            ]
+        | Nodes.FMax ->
+            let v = L.fresh t "v" in
+            [
+              Decl (acc_ty, v, Some ebody);
+              If (Var acc <: Var v, [ Assign (LVar acc, Var v) ], []);
+            ]
+      in
+      let inner = sbody @ update in
+      (* folds stay sequential inside each genarray element (Fig 3) *)
+      let saved = t.L.auto_par in
+      t.L.auto_par <- false;
+      let nest = build_nest t loops inner in
+      t.L.auto_par <- saved;
+      ( prelude @ sbase @ (Decl (acc_ty, acc, Some ebase) :: nest),
+        Var acc )
+
+(* --- matrixMap (§III-A5) -------------------------------------------------------- *)
+
+let lower_matrix_map t (fname : string) (marg : A.expr) (dims : int list)
+    (rty : T.ty) span : stmt list * expr =
+  let in_elem, rank = mat_of_ty span (ety marg) in
+  let out_elem, _ = mat_of_ty span rty in
+  let k = List.length dims in
+  let comp = List.filter (fun d -> not (List.mem d dims)) (List.init rank Fun.id) in
+  let sm, vm = lower_mat t marg in
+  let r = L.fresh t "mmapr" in
+  (* The lifted per-slice function: "we actually lift this out into a new
+     function so that the spawned threads can get direct access to it". *)
+  let lifted = L.fresh t ("mmap_" ^ fname) in
+  let lf =
+    let m = "m" and out = "r" and tvar = "t" in
+    let decode =
+      (* recover the complement indices from the flattened counter *)
+      let rem = L.fresh t "rem" in
+      Decl (CInt, rem, Some (Var tvar))
+      :: List.concat_map
+           (fun d ->
+             let ix = Printf.sprintf "c%d" d in
+             [
+               Decl (CInt, ix, Some (Binop (Arith S.Mod, Var rem, MDim (Var m, Int d))));
+               Assign (LVar rem, Var rem /: MDim (Var m, Int d));
+             ])
+           (List.rev comp)
+    in
+    let slice = L.fresh t "slice" in
+    let ovars = List.map (fun d -> Printf.sprintf "o%d" d) dims in
+    let slice_extents = List.map (fun d -> MDim (Var m, Int d)) dims in
+    let full_index =
+      List.init rank (fun d ->
+          if List.mem d dims then
+            Var (Printf.sprintf "o%d" d)
+          else Var (Printf.sprintf "c%d" d))
+    in
+    let src_off = flat_offset (dims_of m rank) full_index in
+    let slice_off =
+      flat_offset slice_extents (List.map (fun v -> Var v) ovars)
+    in
+    let extract =
+      List.fold_right2
+        (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+        ovars slice_extents
+        [ MSetFlat (Var slice, slice_off, MGetFlat (Var m, src_off)) ]
+    in
+    let outv = L.fresh t "out" in
+    let writeback =
+      List.fold_right2
+        (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+        ovars slice_extents
+        [ MSetFlat (Var out, src_off, MGetFlat (Var outv, slice_off)) ]
+    in
+    {
+      f_name = lifted;
+      f_params =
+        [
+          (CMat (in_elem, rank), m);
+          (CMat (out_elem, rank), out);
+          (CInt, tvar);
+        ];
+      f_ret = CVoid;
+      f_body =
+        decode
+        @ [
+            Decl
+              ( CMat (in_elem, k),
+                slice,
+                Some (MAlloc (in_elem, slice_extents)) );
+          ]
+        @ extract
+        @ [ Decl (CMat (out_elem, k), outv, Some (Call (fname, [ Var slice ]))) ]
+        @ writeback
+        @ L.rc_dec t (Var slice)
+        @ L.rc_dec t (Var outv)
+        @ [ Return None ];
+    }
+  in
+  t.L.extra_funcs <- lf :: t.L.extra_funcs;
+  let total = L.fresh t "total" in
+  let total_expr =
+    List.fold_left (fun acc d -> acc *: MDim (Var vm, Int d)) (Int 1) comp
+    |> fold_expr
+  in
+  let tt = L.fresh t "t" in
+  let loop =
+    {
+      index = tt;
+      bound = Var total;
+      body = [ ExprS (Call (lifted, [ Var vm; Var r; Var tt ])) ];
+    }
+  in
+  let stmts =
+    sm
+    @ [
+        Decl (CMat (out_elem, rank), r, Some (MAlloc (out_elem, dims_of vm rank)));
+        Decl (CInt, total, Some total_expr);
+        (if t.L.auto_par then ParFor loop else For loop);
+      ]
+  in
+  L.add_pending t r;
+  (stmts, Var r)
+
+(* --- extension expressions and builtins --------------------------------------- *)
+
+let h_ty _t (ext : A.ext_ty) : T.ty option =
+  match ext with
+  | Nodes.TyMatrix (elem_te, rank) ->
+      let elem =
+        match elem_te with
+        | A.TyInt -> Nd.EInt
+        | A.TyFloat -> Nd.EFloat
+        | A.TyBool -> Nd.EBool
+        | _ -> Nd.EInt
+      in
+      Some (T.TMat (elem, rank))
+  | _ -> None
+
+let h_expr t (ext : A.ext_expr) (rty : T.ty) span : (stmt list * expr) option =
+  match ext with
+  | Nodes.EEnd -> (
+      match !index_ctx with
+      | Some (m, d) -> Some ([], fold_expr (MDim (m, Int d) -: Int 1))
+      | None -> span_err span "'end' outside of a subscript")
+  | Nodes.EInit (_, dims) ->
+      let elem, _rank = mat_of_ty span rty in
+      let sdims, edims =
+        List.fold_left
+          (fun (ss, es) d ->
+            let s, e = L.lower_expr t d in
+            (ss @ s, es @ [ e ]))
+          ([], []) dims
+      in
+      let tmp = L.fresh t "initm" in
+      L.add_pending t tmp;
+      Some
+        ( sdims @ [ Decl (T.to_ctype rty, tmp, Some (MAlloc (elem, edims))) ],
+          Var tmp )
+  | Nodes.EWith (gen, op) -> Some (lower_with t gen op rty span)
+  | Nodes.EMatrixMap (fname, m, dims) ->
+      Some (lower_matrix_map t fname m dims rty span)
+  | _ -> None
+
+let h_call t (name : string) (args : A.expr list) (rty : T.ty) _span
+    ~expected:_ : (stmt list * expr) option =
+  match (name, args) with
+  | "dimSize", [ m; d ] ->
+      let sm, vm = lower_mat t m in
+      let sd, ed = L.lower_expr t d in
+      Some (sm @ sd, MDim (Var vm, ed))
+  | "readMatrix", [ { A.e = A.StrLit path; _ } ] ->
+      let tmp = L.fresh t "rd" in
+      L.add_pending t tmp;
+      Some
+        ( [ Decl (T.to_ctype rty, tmp, Some (MRead (Str path))) ],
+          Var tmp )
+  | "readMatrix", _ -> None
+  | "writeMatrix", [ { A.e = A.StrLit path; _ }; m ] ->
+      let sm, vm = lower_mat t m in
+      Some (sm @ [ MWrite (Str path, Var vm) ], Int 0)
+  | _ -> None

@@ -1,0 +1,59 @@
+(** Abstract syntax contributed by the matrix extension (§III-A) — new
+    constructors on the host's extensible AST variants. *)
+
+type foldop = FPlus | FTimes | FMin | FMax
+
+let foldop_name = function
+  | FPlus -> "+"
+  | FTimes -> "*"
+  | FMin -> "min"
+  | FMax -> "max"
+
+type relop = RLt | RLe  (** generator bound relations, [<] or [<=] *)
+
+type generator = {
+  lo : Cminus.Ast.expr list;
+  lo_rel : relop;
+  ids : string list;
+  hi_rel : relop;
+  hi : Cminus.Ast.expr list;
+  gspan : Cminus.Ast.span;
+}
+(** The with-loop generator [\[lo\] <= \[ids\] < \[hi\]] (Fig 2). *)
+
+type operation =
+  | OGenarray of Cminus.Ast.expr list * Cminus.Ast.expr
+      (** [genarray(\[shape\], expr)] *)
+  | OFold of foldop * Cminus.Ast.expr * Cminus.Ast.expr
+      (** [fold(op, baseVal, expr)] *)
+
+(* New expression forms. *)
+type Cminus.Ast.ext_expr +=
+  | EWith of generator * operation  (** the SAC with-loop (§III-A4) *)
+  | EMatrixMap of string * Cminus.Ast.expr * int list
+      (** [matrixMap(f, m, \[dims\])] (§III-A5) *)
+  | EInit of Cminus.Ast.ty_expr * Cminus.Ast.expr list
+      (** [init(Matrix t <r>, d0, …)] (Fig 4) *)
+  | EEnd  (** [end]: last index of the current subscript dimension *)
+
+(* New type syntax. *)
+type Cminus.Ast.ext_ty +=
+  | TyMatrix of Cminus.Ast.ty_expr * int  (** [Matrix float <3>] *)
+
+(** Names of the extension's infix operators, carried in [Ast.BExt]. *)
+let op_range = "::"  (** range construction, Fig 8's [(x1::x2)] *)
+
+let op_dotstar = ".*"  (** elementwise multiplication (§III-A2) *)
+
+let () =
+  Cminus.Ast.register_ext_ty_printer (function
+    | TyMatrix (t, r) ->
+        Some
+          (Printf.sprintf "Matrix %s <%d>" (Cminus.Ast.ty_expr_to_string t) r)
+    | _ -> None);
+  Cminus.Ast.register_ext_expr_printer (function
+    | EWith _ -> Some "with-loop"
+    | EMatrixMap _ -> Some "matrixMap"
+    | EInit _ -> Some "init"
+    | EEnd -> Some "end"
+    | _ -> None)

@@ -1,0 +1,268 @@
+(** High-level domain-specific optimizations (§III-A5).
+
+    "The matrix indexing … which originally returned a one-dimensional
+    matrix was removed … driven by a set of high-level optimizations which
+    observed that the fold iterated across one dimension of mat and there
+    was no need to iterate over a copied slice of mat.  This optimization
+    is also not possible via libraries, as high-level and invasive
+    optimizations such as this cannot be applied across separate
+    libraries."
+
+    The pass runs on the {e untyped} AST (before semantic analysis), so
+    the rewritten program is re-checked as ordinary source.  Pattern:
+
+    {v
+      Matrix t <1> s = m[i, j, :];            // slice copy
+      … with ([l] <= [k] < [u]) fold(op, b, s[k]) …   // only use of s
+    v}
+
+    becomes a fold reading [m[i, j, k]] in place — exactly the Fig 1 →
+    Fig 3 rewrite.  The slice declaration is dropped when [s] has no other
+    uses in the enclosing block. *)
+
+module A = Cminus.Ast
+
+(* Count uses of identifier [name] in an expression (conservatively walks
+   the matrix extension's own nodes; unknown foreign nodes count as a use
+   so we never drop a declaration we cannot see into). *)
+let rec uses_in_expr name (e : A.expr) : int =
+  match e.A.e with
+  | A.Ident v -> if v = name then 1 else 0
+  | A.IntLit _ | A.FloatLit _ | A.BoolLit _ | A.StrLit _ -> 0
+  | A.Bin (_, a, b) -> uses_in_expr name a + uses_in_expr name b
+  | A.Un (_, a) | A.Cast (_, a) -> uses_in_expr name a
+  | A.CallE (_, args) ->
+      List.fold_left (fun acc a -> acc + uses_in_expr name a) 0 args
+  | A.TupleLit es ->
+      List.fold_left (fun acc a -> acc + uses_in_expr name a) 0 es
+  | A.Subscript (b, ixs) ->
+      uses_in_expr name b
+      + List.fold_left
+          (fun acc ix ->
+            match ix with
+            | A.IExpr x -> acc + uses_in_expr name x
+            | A.IAll _ -> acc)
+          0 ixs
+  | A.ExtE (Nodes.EWith (gen, op)) ->
+      let gb =
+        List.fold_left (fun acc b -> acc + uses_in_expr name b) 0
+          (gen.Nodes.lo @ gen.Nodes.hi)
+      in
+      let ob =
+        match op with
+        | Nodes.OGenarray (shape, body) ->
+            List.fold_left (fun acc s -> acc + uses_in_expr name s)
+              (uses_in_expr name body) shape
+        | Nodes.OFold (_, base, body) ->
+            uses_in_expr name base + uses_in_expr name body
+      in
+      gb + ob
+  | A.ExtE (Nodes.EMatrixMap (_, m, _)) -> uses_in_expr name m
+  | A.ExtE (Nodes.EInit (_, dims)) ->
+      List.fold_left (fun acc d -> acc + uses_in_expr name d) 0 dims
+  | A.ExtE Nodes.EEnd -> 0
+  | A.ExtE _ -> 1 (* unknown foreign node: assume it may use the name *)
+
+let rec uses_in_stmt name (st : A.stmt) : int =
+  match st.A.s with
+  | A.DeclS (_, _, init) ->
+      Option.fold ~none:0 ~some:(uses_in_expr name) init
+  | A.AssignS (l, r) -> uses_in_expr name l + uses_in_expr name r
+  | A.IfS (c, a, b) ->
+      uses_in_expr name c + uses_in_block name a + uses_in_block name b
+  | A.WhileS (c, b) -> uses_in_expr name c + uses_in_block name b
+  | A.ForS (i, c, s, b) ->
+      Option.fold ~none:0 ~some:(uses_in_stmt name) i
+      + Option.fold ~none:0 ~some:(uses_in_expr name) c
+      + Option.fold ~none:0 ~some:(uses_in_stmt name) s
+      + uses_in_block name b
+  | A.ReturnS e -> Option.fold ~none:0 ~some:(uses_in_expr name) e
+  | A.BreakS | A.ContinueS -> 0
+  | A.ExprStmt e -> uses_in_expr name e
+  | A.BlockS b -> uses_in_block name b
+  | A.ExtS _ -> 1
+
+and uses_in_block name stmts =
+  List.fold_left (fun acc s -> acc + uses_in_stmt name s) 0 stmts
+
+(* Is [init] a pure slice `m[...]` with exactly one IAll and the rest plain
+   index expressions?  Returns the base (must be a variable, so re-reading
+   it is effect-free), the index list, and the IAll's dimension. *)
+let slice_pattern (init : A.expr) : (A.expr * A.index list * int) option =
+  match init.A.e with
+  | A.Subscript (({ A.e = A.Ident _; _ } as base), ixs) ->
+      let alls =
+        List.filteri
+          (fun _ ix -> match ix with A.IAll _ -> true | _ -> false)
+          ixs
+      in
+      let all_dim =
+        List.mapi (fun d ix -> (d, ix)) ixs
+        |> List.find_map (fun (d, ix) ->
+               match ix with A.IAll _ -> Some d | _ -> None)
+      in
+      if List.length alls = 1 then
+        Some (base, ixs, Option.get all_dim)
+      else None
+  | _ -> None
+
+(* Rewrite `dimSize(s, 0)` into `dimSize(base, all_dim)` — the slice's one
+   remaining dimension is the base's [all_dim]. *)
+let rec subst_dimsize sname base all_dim (e : A.expr) : A.expr =
+  let recur = subst_dimsize sname base all_dim in
+  let node =
+    match e.A.e with
+    | A.CallE ("dimSize", [ { A.e = A.Ident v; _ }; { A.e = A.IntLit 0; _ } ])
+      when v = sname ->
+        A.CallE
+          ( "dimSize",
+            [ base; A.mk_expr (A.IntLit all_dim) e.A.espan ] )
+    | A.CallE (f, args) -> A.CallE (f, List.map recur args)
+    | A.Bin (op, a, b) -> A.Bin (op, recur a, recur b)
+    | A.Un (op, a) -> A.Un (op, recur a)
+    | A.Cast (t, a) -> A.Cast (t, recur a)
+    | A.ExtE (Nodes.EWith (gen, op)) ->
+        let gen' =
+          {
+            gen with
+            Nodes.lo = List.map recur gen.Nodes.lo;
+            Nodes.hi = List.map recur gen.Nodes.hi;
+          }
+        in
+        let op' =
+          match op with
+          | Nodes.OGenarray (shape, body) ->
+              Nodes.OGenarray (List.map recur shape, recur body)
+          | Nodes.OFold (fo, b, body) -> Nodes.OFold (fo, recur b, recur body)
+        in
+        A.ExtE (Nodes.EWith (gen', op'))
+    | other -> other
+  in
+  { e with A.e = node }
+
+let rec dimsize_stmt sname base all_dim (st : A.stmt) : A.stmt =
+  let rx = subst_dimsize sname base all_dim in
+  let rb = List.map (dimsize_stmt sname base all_dim) in
+  let s' =
+    match st.A.s with
+    | A.DeclS (t, n, i) -> A.DeclS (t, n, Option.map rx i)
+    | A.AssignS (l, r) -> A.AssignS (rx l, rx r)
+    | A.ExprStmt e -> A.ExprStmt (rx e)
+    | A.ReturnS e -> A.ReturnS (Option.map rx e)
+    | A.IfS (c, a, b) -> A.IfS (rx c, rb a, rb b)
+    | A.WhileS (c, b) -> A.WhileS (rx c, rb b)
+    | A.ForS (i, c, s2, b) ->
+        A.ForS
+          ( Option.map (dimsize_stmt sname base all_dim) i,
+            Option.map rx c,
+            Option.map (dimsize_stmt sname base all_dim) s2,
+            rb b )
+    | A.BlockS b -> A.BlockS (rb b)
+    | other -> other
+  in
+  { st with A.s = s' }
+
+(* Rewrite fold bodies `s[k]` into `m[..., k, ...]`. *)
+let rec subst_fold_body sname base ixs (e : A.expr) : A.expr =
+  let recur = subst_fold_body sname base ixs in
+  let node =
+    match e.A.e with
+    | A.Subscript ({ A.e = A.Ident v; _ }, [ A.IExpr k ]) when v = sname ->
+        (* replace the IAll slot with the fold index *)
+        let ixs' =
+          List.map
+            (function A.IAll _ -> A.IExpr k | other -> other)
+            ixs
+        in
+        A.Subscript (base, ixs')
+    | A.Bin (op, a, b) -> A.Bin (op, recur a, recur b)
+    | A.Un (op, a) -> A.Un (op, recur a)
+    | A.Cast (t, a) -> A.Cast (t, recur a)
+    | A.CallE (f, args) -> A.CallE (f, List.map recur args)
+    | other -> other
+  in
+  { e with A.e = node }
+
+(* Does this statement contain a with-fold over `s[k]`? Rewrite it. *)
+let rec rewrite_stmt sname base ixs (st : A.stmt) : A.stmt * bool =
+  let changed = ref false in
+  let rec rx (e : A.expr) : A.expr =
+    match e.A.e with
+    | A.ExtE (Nodes.EWith (gen, Nodes.OFold (op, b, body)))
+      when uses_in_expr sname body > 0 ->
+        let body' = subst_fold_body sname base ixs body in
+        if uses_in_expr sname body' = 0 then begin
+          changed := true;
+          { e with A.e = A.ExtE (Nodes.EWith (gen, Nodes.OFold (op, b, body'))) }
+        end
+        else e
+    | A.Bin (op, a, b) -> { e with A.e = A.Bin (op, rx a, rx b) }
+    | A.Un (op, a) -> { e with A.e = A.Un (op, rx a) }
+    | A.Cast (t, a) -> { e with A.e = A.Cast (t, rx a) }
+    | A.CallE (f, args) -> { e with A.e = A.CallE (f, List.map rx args) }
+    | A.ExtE (Nodes.EWith (gen, Nodes.OGenarray (shape, body))) ->
+        { e with A.e = A.ExtE (Nodes.EWith (gen, Nodes.OGenarray (shape, rx body))) }
+    | _ -> e
+  in
+  let s' =
+    match st.A.s with
+    | A.DeclS (t, n, Some i) -> A.DeclS (t, n, Some (rx i))
+    | A.AssignS (l, r) -> A.AssignS (l, rx r)
+    | A.ExprStmt e -> A.ExprStmt (rx e)
+    | A.ReturnS (Some e) -> A.ReturnS (Some (rx e))
+    | A.IfS (c, a, b) ->
+        A.IfS (rx c, rewrite_block sname base ixs a changed,
+               rewrite_block sname base ixs b changed)
+    | A.WhileS (c, b) ->
+        A.WhileS (rx c, rewrite_block sname base ixs b changed)
+    | other -> other
+  in
+  ({ st with A.s = s' }, !changed)
+
+and rewrite_block sname base ixs (stmts : A.stmt list) changed =
+  List.map
+    (fun s ->
+      let s', c = rewrite_stmt sname base ixs s in
+      if c then changed := true;
+      s')
+    stmts
+
+(* One block pass: find eligible slice decls, rewrite their fold uses,
+   drop the decl if it becomes dead. *)
+let rec optimize_block (stmts : A.stmt list) : A.stmt list =
+  let stmts =
+    List.map
+      (fun st ->
+        let s' =
+          match st.A.s with
+          | A.IfS (c, a, b) -> A.IfS (c, optimize_block a, optimize_block b)
+          | A.WhileS (c, b) -> A.WhileS (c, optimize_block b)
+          | A.ForS (i, c, s, b) -> A.ForS (i, c, s, optimize_block b)
+          | A.BlockS b -> A.BlockS (optimize_block b)
+          | other -> other
+        in
+        { st with A.s = s' })
+      stmts
+  in
+  let rec go = function
+    | [] -> []
+    | ({ A.s = A.DeclS (_, sname, Some init); _ } as decl) :: rest -> (
+        match slice_pattern init with
+        | Some (base, ixs, all_dim) when uses_in_expr sname init = 0 ->
+            (* dimSize over the slice reads the base's dimension directly *)
+            let rest = List.map (dimsize_stmt sname base all_dim) rest in
+            (* then try to eliminate the copied slice from the folds *)
+            let changed = ref false in
+            let rest' = rewrite_block sname base ixs rest changed in
+            if !changed && uses_in_block sname rest' = 0 then go rest'
+            else decl :: go rest
+        | _ -> decl :: go rest)
+    | s :: rest -> s :: go rest
+  in
+  go stmts
+
+(** [run prog] — apply slice-copy elimination to every function body. *)
+let run (prog : A.program) : A.program =
+  List.map
+    (fun (f : A.fundef) -> { f with A.body = optimize_block f.A.body })
+    prog

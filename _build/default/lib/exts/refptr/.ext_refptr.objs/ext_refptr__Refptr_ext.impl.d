@@ -1,0 +1,1 @@
+lib/exts/refptr/refptr_ext.ml: Ag Cminus Grammar

@@ -1,0 +1,1 @@
+lib/exts/transform/transform_ext.ml: Ag Cir Cminus Grammar Hashtbl Lexer List Parser String

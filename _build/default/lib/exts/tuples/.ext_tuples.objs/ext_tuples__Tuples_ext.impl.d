@@ -1,0 +1,1 @@
+lib/exts/tuples/tuples_ext.ml: Ag Cminus Grammar Hashtbl Parser

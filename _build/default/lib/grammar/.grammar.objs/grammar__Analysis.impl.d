@@ -1,0 +1,1 @@
+lib/grammar/analysis.ml: Array Cfg Fmt Hashtbl Int List Set String

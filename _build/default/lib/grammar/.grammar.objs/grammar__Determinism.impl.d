@@ -1,0 +1,1 @@
+lib/grammar/determinism.ml: Analysis Array Cfg Fmt Format Hashtbl Int Lalr List Queue Set String

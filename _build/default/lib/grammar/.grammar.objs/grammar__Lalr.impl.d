@@ -1,0 +1,1 @@
+lib/grammar/lalr.ml: Analysis Array Cfg Fmt Hashtbl Int List Option Queue Set String

@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Array Atomic Cir Domain Filename Fmt Format Hashtbl List Option Runtime String Sys

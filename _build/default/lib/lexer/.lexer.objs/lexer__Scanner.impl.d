@@ -1,0 +1,1 @@
+lib/lexer/scanner.ml: Array Grammar Int List Regexe Set String Support Token

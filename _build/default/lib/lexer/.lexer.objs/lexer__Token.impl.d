@@ -1,0 +1,1 @@
+lib/lexer/token.ml: Fmt Grammar String Support

@@ -1,0 +1,142 @@
+(** Context-aware scanner in the style of Copper (§VI-A).
+
+    A conventional scanner fixes the tokenisation of the input up front;
+    when independently developed extensions each bring their own terminals,
+    that breaks — e.g. the matrix extension's [end] keyword (valid only
+    inside an index expression) would steal every identifier called [end],
+    and two extensions may both declare a [with]-like keyword.
+
+    A context-aware scanner instead receives, at each call, the set of
+    terminals that the LR parser can currently accept (the {i valid
+    lookahead set} of the parse state) and considers only those.  Maximal
+    munch applies across the valid set; ties on length are broken by
+    lexical precedence ([Cfg.t_prio], keywords beat identifiers), and a
+    remaining tie is a lexical ambiguity reported as an error — Copper
+    would reject such a pair statically. *)
+
+module IntSet = Set.Make (Int)
+module A = Grammar.Analysis
+
+type t = {
+  g : A.t;
+  dfas : Regexe.Dfa.t array;  (** per terminal id; eof slot unused *)
+  prio : int array;
+  layout_dfas : Regexe.Dfa.t list;
+}
+
+(** [create g] compiles every terminal's regex of the (interned, composed)
+    grammar [g] to a DFA, plus the layout terminals (whitespace and
+    comments) that are skipped before every token. *)
+let create (g : A.t) : t =
+  let dfas =
+    Array.init g.A.n_terms (fun i ->
+        if i = g.A.eof then Regexe.Dfa.of_regex Regexe.Syntax.Empty
+        else
+          let name = g.A.term_names.(i) in
+          let term =
+            List.find (fun t -> String.equal t.Grammar.Cfg.t_name name) g.A.cfg.Grammar.Cfg.terminals
+          in
+          Regexe.Dfa.of_regex term.Grammar.Cfg.t_regex)
+  in
+  let prio =
+    Array.init g.A.n_terms (fun i ->
+        if i = g.A.eof then 0
+        else
+          let name = g.A.term_names.(i) in
+          (List.find (fun t -> String.equal t.Grammar.Cfg.t_name name) g.A.cfg.Grammar.Cfg.terminals)
+            .Grammar.Cfg.t_prio)
+  in
+  let layout_dfas =
+    List.map (fun t -> Regexe.Dfa.of_regex t.Grammar.Cfg.t_regex) g.A.cfg.Grammar.Cfg.layout
+  in
+  { g; dfas; prio; layout_dfas }
+
+type result =
+  | Tok of Token.t
+  | Lex_error of { pos : Support.Pos.t; valid : string list }
+  | Ambiguous of { pos : Support.Pos.t; candidates : string list }
+
+(** [skip_layout sc src pos] consumes the longest run of layout lexemes
+    (whitespace, comments) starting at [pos]. *)
+let rec skip_layout sc (src : string) (pos : Support.Pos.t) : Support.Pos.t =
+  let best =
+    List.fold_left
+      (fun acc dfa ->
+        match Regexe.Dfa.longest_match dfa src pos.Support.Pos.offset with
+        | Some len -> max acc len
+        | None -> acc)
+      0 sc.layout_dfas
+  in
+  if best = 0 then pos
+  else
+    let lexeme = String.sub src pos.Support.Pos.offset best in
+    skip_layout sc src (Support.Pos.advance_string pos lexeme)
+
+(** [next sc src pos ~valid] scans one token at [pos], considering only the
+    terminals in [valid] (the current parse state's valid lookahead set).
+    At end of input, returns the synthetic [$EOF] token iff [$EOF] is
+    valid. *)
+let next sc (src : string) (pos : Support.Pos.t) ~(valid : IntSet.t) : result =
+  let pos = skip_layout sc src pos in
+  if pos.Support.Pos.offset >= String.length src then
+    if IntSet.mem sc.g.A.eof valid then
+      Tok
+        {
+          Token.term = A.eof_name;
+          term_id = sc.g.A.eof;
+          lexeme = "";
+          span = Support.Pos.span pos pos;
+        }
+    else
+      Lex_error
+        {
+          pos;
+          valid = List.map (fun t -> sc.g.A.term_names.(t)) (IntSet.elements valid);
+        }
+  else begin
+    (* Maximal munch across the valid set. *)
+    let best_len = ref 0 and best : int list ref = ref [] in
+    IntSet.iter
+      (fun tid ->
+        if tid <> sc.g.A.eof then
+          match Regexe.Dfa.longest_match sc.dfas.(tid) src pos.Support.Pos.offset with
+          | Some len when len > !best_len ->
+              best_len := len;
+              best := [ tid ]
+          | Some len when len = !best_len && len > 0 -> best := tid :: !best
+          | _ -> ())
+      valid;
+    match !best with
+    | [] ->
+        Lex_error
+          {
+            pos;
+            valid =
+              List.map (fun t -> sc.g.A.term_names.(t)) (IntSet.elements valid);
+          }
+    | candidates ->
+        let top = List.fold_left (fun m t -> max m sc.prio.(t)) min_int candidates in
+        (match List.filter (fun t -> sc.prio.(t) = top) candidates with
+        | [ tid ] ->
+            let lexeme = String.sub src pos.Support.Pos.offset !best_len in
+            let right = Support.Pos.advance_string pos lexeme in
+            Tok
+              {
+                Token.term = sc.g.A.term_names.(tid);
+                term_id = tid;
+                lexeme;
+                span = Support.Pos.span pos right;
+              }
+        | several ->
+            Ambiguous
+              {
+                pos;
+                candidates = List.map (fun t -> sc.g.A.term_names.(t)) several;
+              })
+  end
+
+(** [all_terminals sc] — the full terminal-id set; scanning with it turns
+    context-awareness off (used by tests to demonstrate why context is
+    needed). *)
+let all_terminals sc =
+  IntSet.of_list (List.init sc.g.A.n_terms (fun i -> i))

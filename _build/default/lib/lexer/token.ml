@@ -1,0 +1,11 @@
+(** Tokens produced by the context-aware scanner. *)
+
+type t = {
+  term : string;  (** terminal name, e.g. ["ID"], ["KW_with"] *)
+  term_id : int;  (** terminal id in the composed grammar's interning *)
+  lexeme : string;
+  span : Support.Pos.span;
+}
+
+let pp ppf t = Fmt.pf ppf "%s%S" t.term t.lexeme
+let is_eof tok = String.equal tok.term Grammar.Analysis.eof_name

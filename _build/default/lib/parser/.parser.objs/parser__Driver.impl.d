@@ -1,0 +1,1 @@
+lib/parser/driver.ml: Array Fmt Grammar Int Lexer List Option Printf Result Set String Support Tree

@@ -1,0 +1,1 @@
+lib/parser/tree.ml: Fmt Grammar Lexer List Support

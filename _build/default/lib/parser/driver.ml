@@ -1,0 +1,153 @@
+(** Table-driven LR parser coupled to the context-aware scanner.
+
+    The coupling is the essential Copper trick: before requesting the next
+    token, the driver passes the scanner the {i valid lookahead set} of the
+    current LR state, so terminals from different extensions (or an
+    extension keyword shadowing a host identifier) never fight outside the
+    contexts where they can actually occur. *)
+
+module IntSet = Set.Make (Int)
+module A = Grammar.Analysis
+module L = Grammar.Lalr
+
+type error = {
+  span : Support.Pos.span;
+  message : string;
+  expected : string list;  (** terminal names acceptable at the error point *)
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "%a: %s" Support.Pos.pp_span e.span e.message;
+  match e.expected with
+  | [] -> ()
+  | ts -> Fmt.pf ppf " (expected one of: %s)" (String.concat ", " ts)
+
+let error_to_diag (e : error) =
+  Support.Diag.error ~phase:"parse" ~span:e.span "%s%s" e.message
+    (match e.expected with
+    | [] -> ""
+    | ts -> " (expected one of: " ^ String.concat ", " ts ^ ")")
+
+type t = { table : L.t; scanner : Lexer.Scanner.t }
+
+(** [create table] prepares a parser (compiling all terminal DFAs once).
+    The same [t] is reused for every file compiled under a given
+    host ∪ extensions selection. *)
+let create (table : L.t) : t =
+  { table; scanner = Lexer.Scanner.create table.L.g }
+
+let expected_names table state =
+  List.map
+    (fun tid -> table.L.g.A.term_names.(tid))
+    (IntSet.elements table.L.valid_terms.(state))
+
+(** [parse t src] — scan and parse [src], producing a generic concrete
+    syntax tree or a parse/lex error. *)
+let parse (t : t) (src : string) : (Tree.t, error) Result.t =
+  let table = t.table in
+  let stack = ref [ (0, None) ] in
+  (* (state, tree) pairs; None only for the bottom. *)
+  let state () = fst (List.hd !stack) in
+  let pos = ref Support.Pos.start in
+  let lookahead : Lexer.Token.t option ref = ref None in
+  let fetch () =
+    match !lookahead with
+    | Some tok -> Ok tok
+    | None -> (
+        let valid = table.L.valid_terms.(state ()) in
+        match Lexer.Scanner.next t.scanner src !pos ~valid with
+        | Lexer.Scanner.Tok tok ->
+            pos := tok.Lexer.Token.span.Support.Pos.right;
+            lookahead := Some tok;
+            Ok tok
+        | Lexer.Scanner.Lex_error { pos = p; valid = _ } ->
+            Error
+              {
+                span = Support.Pos.span p p;
+                message =
+                  (if p.Support.Pos.offset >= String.length src then
+                     "unexpected end of input"
+                   else
+                     Printf.sprintf "no valid token at %C"
+                       src.[p.Support.Pos.offset]);
+                expected = expected_names table (state ());
+              }
+        | Lexer.Scanner.Ambiguous { pos = p; candidates } ->
+            Error
+              {
+                span = Support.Pos.span p p;
+                message =
+                  "lexically ambiguous between terminals: "
+                  ^ String.concat ", " candidates;
+                expected = [];
+              })
+  in
+  let result = ref None in
+  (try
+     while !result = None do
+       match fetch () with
+       | Error e -> result := Some (Error e)
+       | Ok tok -> (
+           match table.L.action.(state ()).(tok.Lexer.Token.term_id) with
+           | L.Shift s ->
+               stack := (s, Some (Tree.Leaf tok)) :: !stack;
+               lookahead := None
+           | L.Reduce pi ->
+               let prod = table.L.g.A.prods.(pi) in
+               let n = Array.length prod.A.irhs in
+               let rec pop k acc st =
+                 if k = 0 then (acc, st)
+                 else
+                   match st with
+                   | (_, Some tree) :: rest -> pop (k - 1) (tree :: acc) rest
+                   | _ ->
+                       Support.Diag.fatal ~phase:"parse"
+                         ~span:tok.Lexer.Token.span "parser stack underflow"
+               in
+               let kids, rest = pop n [] !stack in
+               let src_prod =
+                 match prod.A.src with
+                 | Some p -> p
+                 | None ->
+                     Support.Diag.fatal ~phase:"parse"
+                       ~span:tok.Lexer.Token.span
+                       "reduce by augmented production"
+               in
+               let span =
+                 match kids with
+                 | [] ->
+                     Support.Pos.span tok.Lexer.Token.span.Support.Pos.left
+                       tok.Lexer.Token.span.Support.Pos.left
+                 | first :: _ ->
+                     Support.Pos.merge (Tree.span first)
+                       (Tree.span (List.nth kids (List.length kids - 1)))
+               in
+               let node = Tree.Node (src_prod, kids, span) in
+               let goto_state =
+                 table.L.goto.(fst (List.hd rest)).(prod.A.ilhs)
+               in
+               if goto_state < 0 then
+                 Support.Diag.fatal ~phase:"parse" ~span "missing goto entry";
+               stack := (goto_state, Some node) :: rest
+           | L.Accept -> (
+               match !stack with
+               | (_, Some tree) :: _ -> result := Some (Ok tree)
+               | _ ->
+                   Support.Diag.fatal ~phase:"parse" ~span:tok.Lexer.Token.span
+                     "accept with empty stack")
+           | L.Error ->
+               result :=
+                 Some
+                   (Error
+                      {
+                        span = tok.Lexer.Token.span;
+                        message =
+                          Printf.sprintf "syntax error at %s"
+                            (if Lexer.Token.is_eof tok then "end of input"
+                             else Printf.sprintf "%S" tok.Lexer.Token.lexeme);
+                        expected = expected_names table (state ());
+                      }))
+     done
+   with Support.Diag.Fatal d ->
+     result := Some (Error { span = d.Support.Diag.span; message = d.Support.Diag.message; expected = [] }));
+  Option.get !result

@@ -1,0 +1,41 @@
+(** Generic concrete syntax trees.
+
+    The LR driver produces these; each language spec then builds its typed
+    AST from them by dispatching on production names — the same separation
+    Silver keeps between concrete syntax and abstract syntax.  Keeping the
+    tree generic lets the attribute-grammar engine ({!Ag}) decorate parse
+    trees of {i any} composed language. *)
+
+type t =
+  | Node of Grammar.Cfg.production * t list * Support.Pos.span
+  | Leaf of Lexer.Token.t
+
+let span = function
+  | Node (_, _, sp) -> sp
+  | Leaf tok -> tok.Lexer.Token.span
+
+let prod_name = function
+  | Node (p, _, _) -> p.Grammar.Cfg.p_name
+  | Leaf tok -> tok.Lexer.Token.term
+
+(** Children of a node ([] for leaves). *)
+let children = function Node (_, kids, _) -> kids | Leaf _ -> []
+
+(** [leaf_text t] — the lexeme when [t] is a leaf. *)
+let leaf_text = function
+  | Leaf tok -> Some tok.Lexer.Token.lexeme
+  | Node _ -> None
+
+let rec pp ppf = function
+  | Leaf tok -> Lexer.Token.pp ppf tok
+  | Node (p, kids, _) ->
+      Fmt.pf ppf "@[<hv 2>(%s%a)@]" p.Grammar.Cfg.p_name
+        (Fmt.list ~sep:Fmt.nop (fun ppf k -> Fmt.pf ppf "@ %a" pp k))
+        kids
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Flatten back to the token sequence (useful for golden tests). *)
+let rec tokens = function
+  | Leaf tok -> [ tok ]
+  | Node (_, kids, _) -> List.concat_map tokens kids

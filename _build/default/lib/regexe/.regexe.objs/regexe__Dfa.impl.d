@@ -1,0 +1,1 @@
+lib/regexe/dfa.ml: Array Char List Map Nfa String

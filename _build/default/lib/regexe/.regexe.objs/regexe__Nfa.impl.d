@@ -1,0 +1,1 @@
+lib/regexe/nfa.ml: Array Hashtbl Int List String Syntax

@@ -1,0 +1,1 @@
+lib/regexe/syntax.ml: Char Fmt List String

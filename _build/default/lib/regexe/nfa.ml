@@ -1,0 +1,107 @@
+(** Thompson construction: regex → nondeterministic finite automaton.
+
+    States are dense integers.  Edges are either epsilon edges or labelled
+    with a single-character predicate (a regex atom: [Char], [Any] or
+    [Class]), which keeps class edges compact instead of expanding them to
+    up-to-256 character edges. *)
+
+type state = int
+
+type t = {
+  start : state;
+  accept : state;
+  epsilon : state list array;  (** epsilon successors per state *)
+  labelled : (Syntax.t * state) list array;  (** atom-labelled successors *)
+  n_states : int;
+}
+
+(* Internal mutable builder. *)
+type builder = {
+  mutable next : int;
+  mutable eps : (state * state) list;
+  mutable lab : (state * Syntax.t * state) list;
+}
+
+let new_state b =
+  let s = b.next in
+  b.next <- s + 1;
+  s
+
+let add_eps b src dst = b.eps <- (src, dst) :: b.eps
+let add_lab b src atom dst = b.lab <- (src, atom, dst) :: b.lab
+
+(** [of_regex r] compiles [r] into an NFA with a single accept state. *)
+let of_regex (r : Syntax.t) : t =
+  let b = { next = 0; eps = []; lab = [] } in
+  (* Returns (entry, exit) fragment states. *)
+  let rec build r =
+    match r with
+    | Syntax.Empty ->
+        let s = new_state b in
+        (s, s)
+    | Syntax.Char _ | Syntax.Any | Syntax.Class _ ->
+        let entry = new_state b and exit = new_state b in
+        add_lab b entry r exit;
+        (entry, exit)
+    | Syntax.Seq (x, y) ->
+        let ex, xx = build x in
+        let ey, xy = build y in
+        add_eps b xx ey;
+        (ex, xy)
+    | Syntax.Alt (x, y) ->
+        let entry = new_state b and exit = new_state b in
+        let ex, xx = build x in
+        let ey, xy = build y in
+        add_eps b entry ex;
+        add_eps b entry ey;
+        add_eps b xx exit;
+        add_eps b xy exit;
+        (entry, exit)
+    | Syntax.Star x ->
+        let entry = new_state b and exit = new_state b in
+        let ex, xx = build x in
+        add_eps b entry ex;
+        add_eps b entry exit;
+        add_eps b xx ex;
+        add_eps b xx exit;
+        (entry, exit)
+    | Syntax.Plus x -> build (Syntax.Seq (x, Syntax.Star x))
+    | Syntax.Opt x -> build (Syntax.Alt (x, Syntax.Empty))
+  in
+  let start, accept = build r in
+  let epsilon = Array.make b.next [] in
+  let labelled = Array.make b.next [] in
+  List.iter (fun (s, d) -> epsilon.(s) <- d :: epsilon.(s)) b.eps;
+  List.iter (fun (s, a, d) -> labelled.(s) <- (a, d) :: labelled.(s)) b.lab;
+  { start; accept; epsilon; labelled; n_states = b.next }
+
+(** [eps_closure nfa states] — set of states reachable from [states] via
+    epsilon edges (including [states] themselves), as a sorted list. *)
+let eps_closure nfa states =
+  let seen = Hashtbl.create 16 in
+  let rec go s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      List.iter go nfa.epsilon.(s)
+    end
+  in
+  List.iter go states;
+  Hashtbl.fold (fun s () acc -> s :: acc) seen [] |> List.sort Int.compare
+
+(** [step nfa states c] — states reachable by consuming character [c]
+    (before epsilon closure). *)
+let step nfa states c =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun (atom, d) -> if Syntax.atom_matches atom c then Some d else None)
+        nfa.labelled.(s))
+    states
+  |> List.sort_uniq Int.compare
+
+(** Reference matcher used by property tests: does [nfa] accept exactly the
+    whole string [s]?  Quadratic; the DFA is the production path. *)
+let accepts nfa s =
+  let cur = ref (eps_closure nfa [ nfa.start ]) in
+  String.iter (fun c -> cur := eps_closure nfa (step nfa !cur c)) s;
+  List.mem nfa.accept !cur

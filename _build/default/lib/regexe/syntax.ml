@@ -1,0 +1,206 @@
+(** Regular-expression abstract syntax and a parser for the concrete syntax
+    used in terminal declarations.
+
+    Copper-style terminal declarations attach a regex to every terminal
+    symbol; this module provides the subset needed for a C-like language:
+
+    - literal characters, with backslash escapes ([\n], [\t], [\r], [\\],
+      and [\c] for any punctuation character [c])
+    - [.] matching any character except newline
+    - character classes [[a-z_]] and negated classes [[^0-9]]
+    - grouping [( )], alternation [|], and the postfix operators
+      [*], [+], [?]. *)
+
+type t =
+  | Empty  (** matches the empty string *)
+  | Char of char
+  | Any  (** [.] — any character except ['\n'] *)
+  | Class of bool * (char * char) list
+      (** [Class (negated, ranges)] — a (possibly negated) set of ranges *)
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+let rec pp ppf = function
+  | Empty -> Fmt.string ppf "ε"
+  | Char c -> Fmt.pf ppf "%C" c
+  | Any -> Fmt.string ppf "."
+  | Class (neg, ranges) ->
+      Fmt.pf ppf "[%s%a]"
+        (if neg then "^" else "")
+        (Fmt.list ~sep:Fmt.nop (fun ppf (a, b) ->
+             if a = b then Fmt.pf ppf "%c" a else Fmt.pf ppf "%c-%c" a b))
+        ranges
+  | Seq (a, b) -> Fmt.pf ppf "%a%a" pp a pp b
+  | Alt (a, b) -> Fmt.pf ppf "(%a|%a)" pp a pp b
+  | Star a -> Fmt.pf ppf "(%a)*" pp a
+  | Plus a -> Fmt.pf ppf "(%a)+" pp a
+  | Opt a -> Fmt.pf ppf "(%a)?" pp a
+
+let to_string r = Fmt.str "%a" pp r
+
+(** [literal s] is the regex matching exactly the string [s]. *)
+let literal s =
+  if String.length s = 0 then Empty
+  else
+    String.fold_left
+      (fun acc c -> if acc = Empty then Char c else Seq (acc, Char c))
+      Empty s
+
+(** [seq rs] sequences a list of regexes. *)
+let seq rs = List.fold_left (fun acc r -> Seq (acc, r)) Empty rs
+
+(** [alt rs] is the alternation of a non-empty list of regexes. *)
+let alt = function
+  | [] -> invalid_arg "Regexe.Syntax.alt: empty"
+  | r :: rs -> List.fold_left (fun acc x -> Alt (acc, x)) r rs
+
+exception Parse_error of string * int
+(** [Parse_error (msg, offset)] — malformed regex concrete syntax. *)
+
+(* Recursive-descent parser over the concrete syntax.  Grammar:
+     alt    ::= seq ('|' seq)*
+     seq    ::= postfix*
+     postfix::= atom ('*' | '+' | '?')*
+     atom   ::= '(' alt ')' | '[' class ']' | '.' | escape | plain-char *)
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (msg, !pos)) in
+  let parse_escape () =
+    advance ();
+    match peek () with
+    | None -> fail "dangling backslash"
+    | Some c ->
+        advance ();
+        let c' =
+          match c with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '0' -> '\000'
+          | c -> c
+        in
+        Char c'
+  in
+  let parse_class () =
+    advance ();
+    let negated =
+      match peek () with
+      | Some '^' ->
+          advance ();
+          true
+      | _ -> false
+    in
+    let ranges = ref [] in
+    let read_class_char () =
+      match peek () with
+      | None -> fail "unterminated character class"
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "dangling backslash in class"
+          | Some c ->
+              advance ();
+              let c' =
+                match c with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | 'r' -> '\r'
+                | '0' -> '\000'
+                | c -> c
+              in
+              c')
+      | Some c ->
+          advance ();
+          c
+    in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated character class"
+      | Some ']' -> advance ()
+      | Some _ ->
+          let lo = read_class_char () in
+          (match peek () with
+          | Some '-' when !pos + 1 < n && s.[!pos + 1] <> ']' ->
+              advance ();
+              let hi = read_class_char () in
+              if Char.code hi < Char.code lo then fail "inverted class range";
+              ranges := (lo, hi) :: !ranges
+          | _ -> ranges := (lo, lo) :: !ranges);
+          loop ()
+    in
+    loop ();
+    Class (negated, List.rev !ranges)
+  in
+  let rec parse_alt () =
+    let left = parse_seq () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        Alt (left, parse_alt ())
+    | _ -> left
+  and parse_seq () =
+    let rec loop acc =
+      match peek () with
+      | None | Some '|' | Some ')' -> acc
+      | Some _ ->
+          let f = parse_postfix () in
+          loop (if acc = Empty then f else Seq (acc, f))
+    in
+    loop Empty
+  and parse_postfix () =
+    let a = parse_atom () in
+    let rec loop a =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          loop (Star a)
+      | Some '+' ->
+          advance ();
+          loop (Plus a)
+      | Some '?' ->
+          advance ();
+          loop (Opt a)
+      | _ -> a
+    in
+    loop a
+  and parse_atom () =
+    match peek () with
+    | None -> fail "expected atom"
+    | Some '(' -> (
+        advance ();
+        let inner = parse_alt () in
+        match peek () with
+        | Some ')' ->
+            advance ();
+            inner
+        | _ -> fail "unbalanced parenthesis")
+    | Some '[' -> parse_class ()
+    | Some '.' ->
+        advance ();
+        Any
+    | Some '\\' -> parse_escape ()
+    | Some ('*' | '+' | '?' | ')' | '|' | ']') ->
+        fail "misplaced regex operator"
+    | Some c ->
+        advance ();
+        Char c
+  in
+  let r = parse_alt () in
+  if !pos <> n then fail "trailing characters" else r
+
+(** [char_matches re_atom c] — does a single-character atom accept [c]?
+    Used by the NFA construction for its character-set edges. *)
+let atom_matches atom c =
+  match atom with
+  | Char c' -> Char.equal c c'
+  | Any -> not (Char.equal c '\n')
+  | Class (negated, ranges) ->
+      let inside = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in
+      if negated then not inside else inside
+  | _ -> invalid_arg "atom_matches: not an atom"

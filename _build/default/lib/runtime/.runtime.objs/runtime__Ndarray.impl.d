@@ -1,0 +1,1 @@
+lib/runtime/ndarray.ml: Array Fmt Format Fun Int64 List Scalar Shape String

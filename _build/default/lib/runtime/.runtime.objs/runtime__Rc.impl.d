@@ -1,0 +1,1 @@
+lib/runtime/rc.ml: Fun Hashtbl Mutex

@@ -1,0 +1,1 @@
+lib/runtime/scalar.ml: Fmt Format

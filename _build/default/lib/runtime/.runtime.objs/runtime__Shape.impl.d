@@ -1,0 +1,1 @@
+lib/runtime/shape.ml: Array Fmt Format String

@@ -1,0 +1,1 @@
+lib/runtime/simd.ml: Array Fmt Int32 Printf String

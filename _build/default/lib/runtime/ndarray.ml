@@ -1,0 +1,490 @@
+(** Dense row-major matrices of float/int/bool — the runtime representation
+    the matrix extension's generated C code operates on (§III-A), including
+    every indexing mode of §III-A3:
+
+    - standard indexing (extracts a single element),
+    - range indexing [lo:hi] (inclusive, MATLAB-style, with [end]),
+    - whole-dimension indexing [:],
+    - logical (boolean-mask) indexing,
+    - integer-vector gather indexing (the [ts[beginning::i]] form of Fig 8).
+
+    All modes combine freely across dimensions and work on both sides of an
+    assignment. *)
+
+type elem = EFloat | EInt | EBool
+
+let elem_name = function EFloat -> "float" | EInt -> "int" | EBool -> "bool"
+
+type buf = F of float array | I of int array | B of bool array
+type t = { shape : Shape.t; buf : buf }
+
+exception Type_error of string
+
+let terr fmt = Format.kasprintf (fun m -> raise (Type_error m)) fmt
+let shape m = m.shape
+let rank m = Shape.rank m.shape
+let size m = Shape.size m.shape
+
+let elem m = match m.buf with F _ -> EFloat | I _ -> EInt | B _ -> EBool
+
+(** [dim_size m d] — the [dimSize(m, d)] builtin. *)
+let dim_size m d =
+  if d < 0 || d >= rank m then
+    Shape.err "dimSize: dimension %d out of range for %s" d
+      (Shape.to_string m.shape)
+  else m.shape.(d)
+
+(** [create e shape] — zero/false-initialised matrix: the [init] builtin. *)
+let create e sh =
+  let n = Shape.size sh in
+  let buf =
+    match e with
+    | EFloat -> F (Array.make n 0.)
+    | EInt -> I (Array.make n 0)
+    | EBool -> B (Array.make n false)
+  in
+  { shape = Array.copy sh; buf }
+
+let init_float sh f =
+  let n = Shape.size sh in
+  let a = Array.init n (fun off -> f (Shape.unoffset sh off)) in
+  { shape = Array.copy sh; buf = F a }
+
+let init_int sh f =
+  let n = Shape.size sh in
+  let a = Array.init n (fun off -> f (Shape.unoffset sh off)) in
+  { shape = Array.copy sh; buf = I a }
+
+let of_float_array sh a =
+  if Array.length a <> Shape.size sh then
+    Shape.err "of_float_array: %d elements for shape %s" (Array.length a)
+      (Shape.to_string sh);
+  { shape = Array.copy sh; buf = F (Array.copy a) }
+
+let of_int_array sh a =
+  if Array.length a <> Shape.size sh then
+    Shape.err "of_int_array: %d elements for shape %s" (Array.length a)
+      (Shape.to_string sh);
+  { shape = Array.copy sh; buf = I (Array.copy a) }
+
+let of_bool_array sh a =
+  if Array.length a <> Shape.size sh then
+    Shape.err "of_bool_array: %d elements for shape %s" (Array.length a)
+      (Shape.to_string sh);
+  { shape = Array.copy sh; buf = B (Array.copy a) }
+
+(** 1-D float vector from a list. *)
+let vec_f xs = of_float_array [| List.length xs |] (Array.of_list xs)
+
+let vec_i xs = of_int_array [| List.length xs |] (Array.of_list xs)
+
+(** [range lo hi] — the [lo::hi] range-construction expression of Fig 8:
+    a 1-D int vector [lo, lo+1, …, hi] (inclusive; empty when [hi < lo]). *)
+let range lo hi =
+  let n = max 0 (hi - lo + 1) in
+  { shape = [| n |]; buf = I (Array.init n (fun i -> lo + i)) }
+
+let copy m =
+  {
+    shape = Array.copy m.shape;
+    buf =
+      (match m.buf with
+      | F a -> F (Array.copy a)
+      | I a -> I (Array.copy a)
+      | B a -> B (Array.copy a));
+  }
+
+(* --- flat accessors ------------------------------------------------------ *)
+
+let get_flat m off : Scalar.t =
+  match m.buf with
+  | F a -> Scalar.F a.(off)
+  | I a -> Scalar.I a.(off)
+  | B a -> Scalar.B a.(off)
+
+let set_flat m off (v : Scalar.t) =
+  match (m.buf, v) with
+  | F a, Scalar.F x -> a.(off) <- x
+  | F a, Scalar.I x -> a.(off) <- float_of_int x
+  | I a, Scalar.I x -> a.(off) <- x
+  | B a, Scalar.B x -> a.(off) <- x
+  | _ ->
+      terr "cannot store %s into %s matrix" (Scalar.to_string v)
+        (elem_name (elem m))
+
+let get m idx = get_flat m (Shape.offset m.shape idx)
+let set m idx v = set_flat m (Shape.offset m.shape idx) v
+
+(* --- elementwise operations (§III-A2) ------------------------------------ *)
+
+let same_elem a b =
+  if elem a <> elem b then
+    terr "element type mismatch: %s vs %s" (elem_name (elem a))
+      (elem_name (elem b))
+
+(** Elementwise arithmetic; the paper's matrix operators are all
+    elementwise except linear-algebra [*] (see {!matmul}). Checks equal
+    type and rank/shape, as the extended type system does. *)
+let arith op a b =
+  same_elem a b;
+  let sh = Shape.broadcast_eq a.shape b.shape in
+  match (a.buf, b.buf) with
+  | F x, F y ->
+      let r =
+        Array.init (Array.length x) (fun i ->
+            Scalar.to_float (Scalar.arith op (Scalar.F x.(i)) (Scalar.F y.(i))))
+      in
+      { shape = Array.copy sh; buf = F r }
+  | I x, I y ->
+      let r =
+        Array.init (Array.length x) (fun i ->
+            Scalar.to_int (Scalar.arith op (Scalar.I x.(i)) (Scalar.I y.(i))))
+      in
+      { shape = Array.copy sh; buf = I r }
+  | _ -> terr "arithmetic on boolean matrices"
+
+(** Matrix–scalar arithmetic, in either argument order (§III-A2). *)
+let arith_scalar op (m : t) (s : Scalar.t) ~scalar_left : t =
+  let app a b = if scalar_left then Scalar.arith op b a else Scalar.arith op a b in
+  match m.buf with
+  | F x ->
+      {
+        shape = Array.copy m.shape;
+        buf = F (Array.map (fun v -> Scalar.to_float (app (Scalar.F v) s)) x);
+      }
+  | I x -> (
+      match s with
+      | Scalar.F _ ->
+          {
+            shape = Array.copy m.shape;
+            buf =
+              F (Array.map (fun v -> Scalar.to_float (app (Scalar.I v) s)) x);
+          }
+      | _ ->
+          {
+            shape = Array.copy m.shape;
+            buf = I (Array.map (fun v -> Scalar.to_int (app (Scalar.I v) s)) x);
+          })
+  | B _ -> terr "arithmetic on boolean matrix"
+
+(** Elementwise comparison producing a boolean matrix (drives logical
+    indexing, e.g. [ssh < i] in Fig 4). *)
+let cmp op a b =
+  let sh = Shape.broadcast_eq a.shape b.shape in
+  let n = Shape.size sh in
+  let r =
+    Array.init n (fun i ->
+        Scalar.to_bool (Scalar.cmp op (get_flat a i) (get_flat b i)))
+  in
+  { shape = Array.copy sh; buf = B r }
+
+let cmp_scalar op m s ~scalar_left =
+  let n = size m in
+  let r =
+    Array.init n (fun i ->
+        let x = get_flat m i in
+        Scalar.to_bool
+          (if scalar_left then Scalar.cmp op s x else Scalar.cmp op x s))
+  in
+  { shape = Array.copy m.shape; buf = B r }
+
+let logic op a b =
+  let sh = Shape.broadcast_eq a.shape b.shape in
+  match (a.buf, b.buf) with
+  | B x, B y ->
+      let f = match op with
+        | Scalar.And -> ( && )
+        | Scalar.Or -> ( || )
+      in
+      { shape = Array.copy sh; buf = B (Array.init (Array.length x) (fun i -> f x.(i) y.(i))) }
+  | _ -> terr "logical operator on non-boolean matrices"
+
+let not_ m =
+  match m.buf with
+  | B x -> { shape = Array.copy m.shape; buf = B (Array.map not x) }
+  | _ -> terr "! on non-boolean matrix"
+
+let neg m =
+  match m.buf with
+  | F x -> { shape = Array.copy m.shape; buf = F (Array.map (fun v -> -.v) x) }
+  | I x -> { shape = Array.copy m.shape; buf = I (Array.map (fun v -> -v) x) }
+  | B _ -> terr "negation of boolean matrix"
+
+(** Linear-algebra matrix multiplication — the meaning of [*] on two
+    matrices; elementwise multiplication is the distinct [.*] operator
+    (§III-A2). 2-D only, inner dimensions must agree. *)
+let matmul a b =
+  same_elem a b;
+  if rank a <> 2 || rank b <> 2 then
+    Shape.err "matrix multiplication requires rank 2, got %s and %s"
+      (Shape.to_string a.shape) (Shape.to_string b.shape);
+  let m = a.shape.(0) and k = a.shape.(1) in
+  let k' = b.shape.(0) and n = b.shape.(1) in
+  if k <> k' then
+    Shape.err "matrix multiplication inner dimensions: %s vs %s"
+      (Shape.to_string a.shape) (Shape.to_string b.shape);
+  match (a.buf, b.buf) with
+  | F x, F y ->
+      let r = Array.make (m * n) 0. in
+      for i = 0 to m - 1 do
+        for l = 0 to k - 1 do
+          let xv = x.((i * k) + l) in
+          for j = 0 to n - 1 do
+            r.((i * n) + j) <- r.((i * n) + j) +. (xv *. y.((l * n) + j))
+          done
+        done
+      done;
+      { shape = [| m; n |]; buf = F r }
+  | I x, I y ->
+      let r = Array.make (m * n) 0 in
+      for i = 0 to m - 1 do
+        for l = 0 to k - 1 do
+          let xv = x.((i * k) + l) in
+          for j = 0 to n - 1 do
+            r.((i * n) + j) <- r.((i * n) + j) + (xv * y.((l * n) + j))
+          done
+        done
+      done;
+      { shape = [| m; n |]; buf = I r }
+  | _ -> terr "matrix multiplication on boolean matrices"
+
+(* --- indexing (§III-A3) --------------------------------------------------- *)
+
+type index =
+  | At of int  (** single position: collapses the dimension *)
+  | Range of int * int  (** inclusive [lo:hi] *)
+  | All  (** [:] *)
+  | Mask of t  (** logical indexing by a 1-D boolean matrix *)
+  | Gather of t  (** indexing by a 1-D integer matrix *)
+
+(* Selected source positions per dimension + whether the dim collapses. *)
+let resolve_dim m d = function
+  | At i ->
+      if i < 0 || i >= m.shape.(d) then
+        Shape.err "index %d out of bounds in dimension %d of %s" i d
+          (Shape.to_string m.shape);
+      ([| i |], true)
+  | Range (lo, hi) ->
+      if lo < 0 || hi >= m.shape.(d) || lo > hi then
+        Shape.err "range %d:%d out of bounds in dimension %d of %s" lo hi d
+          (Shape.to_string m.shape);
+      (Array.init (hi - lo + 1) (fun i -> lo + i), false)
+  | All -> (Array.init m.shape.(d) (fun i -> i), false)
+  | Mask b -> (
+      match b.buf with
+      | B mask ->
+          if rank b <> 1 || Array.length mask <> m.shape.(d) then
+            Shape.err
+              "logical index of shape %s does not match dimension %d (size %d)"
+              (Shape.to_string b.shape) d m.shape.(d);
+          let sel = ref [] in
+          Array.iteri (fun i keep -> if keep then sel := i :: !sel) mask;
+          (Array.of_list (List.rev !sel), false)
+      | _ -> terr "logical index must be a boolean matrix")
+  | Gather g -> (
+      match g.buf with
+      | I ids ->
+          if rank g <> 1 then terr "gather index must be a 1-D integer matrix";
+          Array.iter
+            (fun i ->
+              if i < 0 || i >= m.shape.(d) then
+                Shape.err "gather index %d out of bounds in dimension %d" i d)
+            ids;
+          (Array.copy ids, false)
+      | _ -> terr "gather index must be an integer matrix")
+
+let resolve m (spec : index array) =
+  if Array.length spec <> rank m then
+    Shape.err "indexing with %d subscripts into rank-%d matrix"
+      (Array.length spec) (rank m);
+  Array.mapi (fun d s -> resolve_dim m d s) spec
+
+(** [slice m spec] — the general right-hand-side indexing operation.
+    Dimensions indexed with [At] collapse; the result of collapsing all
+    dimensions is a rank-0 matrix (use {!to_scalar}). *)
+let slice m spec : t =
+  let sels = resolve m spec in
+  let kept =
+    Array.to_list sels
+    |> List.filter_map (fun (sel, collapse) ->
+           if collapse then None else Some (Array.length sel))
+  in
+  let out_shape = Array.of_list kept in
+  let out = create (elem m) out_shape in
+  let src_idx = Array.make (rank m) 0 in
+  Shape.iter out_shape (fun out_idx ->
+      let k = ref 0 in
+      Array.iteri
+        (fun d (sel, collapse) ->
+          if collapse then src_idx.(d) <- sel.(0)
+          else begin
+            src_idx.(d) <- sel.(out_idx.(!k));
+            incr k
+          end)
+        sels;
+      set out out_idx (get m src_idx));
+  out
+
+(** [slice_assign m spec src] — indexing on the left-hand side of [=]:
+    writes [src] into the selected region, which must match its shape. *)
+let slice_assign m spec (src : t) : unit =
+  let sels = resolve m spec in
+  let kept =
+    Array.to_list sels
+    |> List.filter_map (fun (sel, collapse) ->
+           if collapse then None else Some (Array.length sel))
+  in
+  let region = Array.of_list kept in
+  if not (Shape.equal region src.shape) then
+    Shape.err "assignment of %s into region %s" (Shape.to_string src.shape)
+      (Shape.to_string region);
+  same_elem m src;
+  let dst_idx = Array.make (rank m) 0 in
+  Shape.iter region (fun out_idx ->
+      let k = ref 0 in
+      Array.iteri
+        (fun d (sel, collapse) ->
+          if collapse then dst_idx.(d) <- sel.(0)
+          else begin
+            dst_idx.(d) <- sel.(out_idx.(!k));
+            incr k
+          end)
+        sels;
+      set m dst_idx (get src out_idx))
+
+(** [fill_assign m spec v] — scalar broadcast into a selected region. *)
+let fill_assign m spec (v : Scalar.t) : unit =
+  let sels = resolve m spec in
+  let kept =
+    Array.to_list sels
+    |> List.filter_map (fun (sel, collapse) ->
+           if collapse then None else Some (Array.length sel))
+  in
+  let region = Array.of_list kept in
+  let dst_idx = Array.make (rank m) 0 in
+  Shape.iter region (fun out_idx ->
+      let k = ref 0 in
+      Array.iteri
+        (fun d (sel, collapse) ->
+          if collapse then dst_idx.(d) <- sel.(0)
+          else begin
+            dst_idx.(d) <- sel.(out_idx.(!k));
+            incr k
+          end)
+        sels;
+      set m dst_idx v)
+
+let to_scalar m =
+  if size m <> 1 then
+    Shape.err "matrix of shape %s used as scalar" (Shape.to_string m.shape)
+  else get_flat m 0
+
+(* --- folds ---------------------------------------------------------------- *)
+
+(** [fold f init m] — row-major fold over all elements (the runtime core of
+    the fold with-loop). *)
+let fold f init m =
+  let acc = ref init in
+  for off = 0 to size m - 1 do
+    acc := f !acc (get_flat m off)
+  done;
+  !acc
+
+let sum_float m =
+  match m.buf with
+  | F a -> Array.fold_left ( +. ) 0. a
+  | I a -> Array.fold_left (fun acc x -> acc +. float_of_int x) 0. a
+  | B _ -> terr "sum of boolean matrix"
+
+let count_true m =
+  match m.buf with
+  | B a -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
+  | _ -> terr "count_true on non-boolean matrix"
+
+(* --- structural ----------------------------------------------------------- *)
+
+let equal a b =
+  Shape.equal a.shape b.shape
+  &&
+  match (a.buf, b.buf) with
+  | F x, F y -> x = y
+  | I x, I y -> x = y
+  | B x, B y -> x = y
+  | _ -> false
+
+(** Approximate float equality with tolerance, for parallel-vs-serial and
+    transformed-vs-baseline comparisons (FP reassociation). *)
+let approx_equal ?(eps = 1e-6) a b =
+  Shape.equal a.shape b.shape
+  &&
+  match (a.buf, b.buf) with
+  | F x, F y ->
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          let d = abs_float (v -. y.(i)) in
+          let scale = max 1. (max (abs_float v) (abs_float y.(i))) in
+          if d > eps *. scale then ok := false)
+        x;
+      !ok
+  | _ -> equal a b
+
+let pp ppf m =
+  let n = size m in
+  let elems =
+    List.init (min n 16) (fun i -> Scalar.to_string (get_flat m i))
+  in
+  Fmt.pf ppf "Matrix %s %s {%s%s}" (elem_name (elem m))
+    (Shape.to_string m.shape)
+    (String.concat ", " elems)
+    (if n > 16 then ", …" else "")
+
+let to_string m = Fmt.str "%a" pp m
+
+(* --- binary I/O (readMatrix / writeMatrix builtins) ----------------------- *)
+
+let magic = "MMAT1\n"
+
+(** [write_file path m] — the [writeMatrix] builtin: a small self-describing
+    binary format (magic, elem kind, rank, extents, then elements). *)
+let write_file path m =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let kind = match elem m with EFloat -> 'f' | EInt -> 'i' | EBool -> 'b' in
+      output_char oc kind;
+      output_binary_int oc (rank m);
+      Array.iter (output_binary_int oc) m.shape;
+      match m.buf with
+      | F a -> Array.iter (fun v -> output_string oc (Int64.to_string (Int64.bits_of_float v) ^ "\n")) a
+      | I a -> Array.iter (fun v -> output_string oc (string_of_int v ^ "\n")) a
+      | B a -> Array.iter (fun v -> output_char oc (if v then '1' else '0')) a)
+
+(** [read_file path] — the [readMatrix] builtin. *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then terr "%s: not a matrix file" path;
+      let kind = input_char ic in
+      let r = input_binary_int ic in
+      let sh = Array.init r (fun _ -> input_binary_int ic) in
+      let n = Shape.size sh in
+      match kind with
+      | 'f' ->
+          let a =
+            Array.init n (fun _ ->
+                Int64.float_of_bits (Int64.of_string (input_line ic)))
+          in
+          { shape = sh; buf = F a }
+      | 'i' ->
+          let a = Array.init n (fun _ -> int_of_string (input_line ic)) in
+          { shape = sh; buf = I a }
+      | 'b' ->
+          let a = Array.init n (fun _ -> input_char ic = '1') in
+          { shape = sh; buf = B a }
+      | c -> terr "%s: unknown element kind %C" path c)

@@ -1,0 +1,162 @@
+(** The enhanced fork-join execution model of §III-C, from SAC [14].
+
+    A naive translation spawns and destroys threads around every parallel
+    with-loop and "pays the price of creating and destroying threads each
+    time".  Instead, the runtime spawns the necessary number of workers
+    {i once} at program start and parks them in a spin lock; when the main
+    thread reaches a parallel construct it "flips the condition that keeps
+    the threads spinning, which releases all of them at once", each worker
+    runs its share, passes through a {i stop barrier} and goes straight
+    back to spinning; the main thread waits in the stop barrier until all
+    workers are done.
+
+    Workers are OCaml 5 domains (real parallelism).  The spin loops use
+    [Domain.cpu_relax] with a sleep back-off so the model remains usable on
+    machines with fewer cores than workers (such as 1-core CI containers —
+    the spin never starves the worker that must make progress).
+
+    {!naive_run} implements the fork-join-per-region model as the
+    benchmark baseline the paper argues against. *)
+
+type job = { fn : int -> int -> unit (* worker_index n_workers -> unit *) }
+
+type t = {
+  n_workers : int;  (** helper domains; the main thread also works *)
+  generation : int Atomic.t;  (** bumped to release the spinners *)
+  job : job option Atomic.t;
+  done_count : int Atomic.t;
+  shutdown : bool Atomic.t;
+  mutable domains : unit Domain.t array;
+}
+
+(* Spin with progressive back-off: pure spinning briefly (the fast path the
+   enhanced fork-join model is built for), then yield to the OS so
+   oversubscribed machines still progress. *)
+let spin_until pred =
+  let spins = ref 0 in
+  while not (pred ()) do
+    incr spins;
+    if !spins < 1000 then Domain.cpu_relax ()
+    else Unix.sleepf 0.000_05
+  done
+
+let worker_loop pool idx () =
+  let my_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    spin_until (fun () ->
+        Atomic.get pool.shutdown || Atomic.get pool.generation <> !my_gen);
+    if Atomic.get pool.shutdown then running := false
+    else begin
+      my_gen := Atomic.get pool.generation;
+      (match Atomic.get pool.job with
+      | Some { fn } -> (
+          (* Worker indices 1..n; index 0 is the main thread's share. *)
+          try fn idx (pool.n_workers + 1) with _ -> ())
+      | None -> ());
+      Atomic.incr pool.done_count
+    end
+  done
+
+(** [create n] — a pool executing parallel regions on [n] threads total:
+    the calling (main) thread plus [n-1] spawned worker domains, matching
+    the paper's command-line thread-count argument. *)
+let create n =
+  if n < 1 then invalid_arg "Pool.create: need at least one thread";
+  let pool =
+    {
+      n_workers = n - 1;
+      generation = Atomic.make 0;
+      job = Atomic.make None;
+      done_count = Atomic.make 0;
+      shutdown = Atomic.make false;
+      domains = [||];
+    }
+  in
+  pool.domains <-
+    Array.init (n - 1) (fun i -> Domain.spawn (worker_loop pool (i + 1)));
+  pool
+
+let threads pool = pool.n_workers + 1
+
+(** [run pool f] — one parallel region: every thread [t] of [n] executes
+    [f t n]; returns when all have passed the stop barrier. *)
+let run pool (fn : int -> int -> unit) =
+  if pool.n_workers = 0 then fn 0 1
+  else begin
+    Atomic.set pool.done_count 0;
+    Atomic.set pool.job (Some { fn });
+    Atomic.incr pool.generation;
+    (* release *)
+    fn 0 (pool.n_workers + 1);
+    (* main thread's share *)
+    spin_until (fun () -> Atomic.get pool.done_count = pool.n_workers)
+    (* stop barrier *)
+  end
+
+(** [parallel_for pool lo hi f] — apply [f] to every index in [lo, hi)
+    with contiguous static chunking, the schedule the generated code uses
+    for with-loops (each thread gets a unique, disjoint set of indices —
+    guaranteed by the with-loop generator semantics, §III-A4). *)
+let parallel_for pool lo hi f =
+  let total = hi - lo in
+  if total > 0 then
+    run pool (fun t n ->
+        let chunk = (total + n - 1) / n in
+        let start = lo + (t * chunk) in
+        let stop = min hi (start + chunk) in
+        for i = start to stop - 1 do
+          f i
+        done)
+
+(** [parallel_fold pool lo hi ~init ~body ~combine] — per-thread partial
+    folds combined sequentially by the main thread (how the generated code
+    parallelises fold with-loops). *)
+let parallel_fold pool lo hi ~init ~body ~combine =
+  let n = threads pool in
+  let partials = Array.make n init in
+  run pool (fun t n ->
+      let total = hi - lo in
+      let chunk = (total + n - 1) / n in
+      let start = lo + (t * chunk) in
+      let stop = min hi (start + chunk) in
+      let acc = ref init in
+      for i = start to stop - 1 do
+        acc := body !acc i
+      done;
+      partials.(t) <- !acc);
+  Array.fold_left combine init partials
+
+(** Park the workers permanently and join their domains. *)
+let shutdown pool =
+  if pool.n_workers > 0 then begin
+    Atomic.set pool.shutdown true;
+    Array.iter Domain.join pool.domains
+  end
+
+(** [with_pool n f] — create, use, always shut down. *)
+let with_pool n f =
+  let pool = create n in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(** The naive fork-join baseline (§III-C): spawn [n-1] fresh domains for
+    the region, join them, destroy them.  Benchmarked against {!run} in
+    the [forkjoin] bench group. *)
+let naive_run n (fn : int -> int -> unit) =
+  if n <= 1 then fn 0 1
+  else begin
+    let ds = Array.init (n - 1) (fun i -> Domain.spawn (fun () -> fn (i + 1) n)) in
+    fn 0 n;
+    Array.iter Domain.join ds
+  end
+
+let naive_parallel_for n lo hi f =
+  let total = hi - lo in
+  if total > 0 then
+    naive_run n (fun t n ->
+        let chunk = (total + n - 1) / n in
+        let start = lo + (t * chunk) in
+        let stop = min hi (start + chunk) in
+        for i = start to stop - 1 do
+          f i
+        done)

@@ -1,0 +1,95 @@
+(** Reference-counting cells — the general-purpose extension of §III-B and
+    the memory management underneath every matrix (§III-C).
+
+    The generated C code attaches a count to each allocation; assignments
+    increment the new referent and decrement the old one, scope exit
+    decrements, and a count reaching zero frees the payload.  Here the
+    OCaml GC does the actual freeing, so "free" means removing the cell
+    from the {b live-allocation registry} — which is precisely what lets
+    the test-suite assert the paper's invariant: after a translated program
+    finishes, no allocation is still live (no leaks), and no cell is ever
+    decremented below zero (no double-free). *)
+
+type 'a t = {
+  mutable count : int;
+  mutable payload : 'a option;  (** [None] after the count reaches zero *)
+  id : int;
+  bytes : int;  (** approximate payload size, for allocator benchmarks *)
+}
+
+exception Use_after_free of int
+exception Double_free of int
+
+(* Registry is per-process and must tolerate the domain pool touching
+   counts concurrently; a mutex keeps the bookkeeping exact. *)
+let registry_mutex = Mutex.create ()
+let live : (int, int) Hashtbl.t = Hashtbl.create 256 (* id -> bytes *)
+let next_id = ref 0
+let total_allocs = ref 0
+let total_frees = ref 0
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+(** [alloc ~bytes payload] — a fresh cell with count 1, registered live. *)
+let alloc ?(bytes = 0) payload =
+  with_registry (fun () ->
+      let id = !next_id in
+      incr next_id;
+      incr total_allocs;
+      Hashtbl.replace live id bytes;
+      { count = 1; payload = Some payload; id; bytes })
+
+(** [get cell] — dereference; raises {!Use_after_free} on a dead cell. *)
+let get cell =
+  match cell.payload with
+  | Some p -> p
+  | None -> raise (Use_after_free cell.id)
+
+(** [incr_ cell] — a new reference now exists (assignment RHS, argument
+    passing, storing into a structure). *)
+let incr_ cell =
+  with_registry (fun () ->
+      if cell.payload = None then raise (Use_after_free cell.id);
+      cell.count <- cell.count + 1)
+
+(** [decr_ cell] — a reference died (scope exit, overwriting assignment).
+    Frees the payload when the count reaches zero. *)
+let decr_ cell =
+  with_registry (fun () ->
+      if cell.count <= 0 then raise (Double_free cell.id);
+      cell.count <- cell.count - 1;
+      if cell.count = 0 then begin
+        cell.payload <- None;
+        incr total_frees;
+        Hashtbl.remove live cell.id
+      end)
+
+let count cell = cell.count
+let is_live cell = cell.payload <> None
+
+(** Number of allocations still live — a translated program that manages
+    its references correctly leaves this where it found it. *)
+let live_count () = with_registry (fun () -> Hashtbl.length live)
+
+let live_bytes () =
+  with_registry (fun () -> Hashtbl.fold (fun _ b acc -> acc + b) live 0)
+
+type stats = { allocs : int; frees : int; live : int }
+
+let stats () =
+  with_registry (fun () ->
+      {
+        allocs = !total_allocs;
+        frees = !total_frees;
+        live = Hashtbl.length live;
+      })
+
+(** Reset counters between tests/benchmark runs.  Does not revive or kill
+    cells; only clears the registry and statistics. *)
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.reset live;
+      total_allocs := 0;
+      total_frees := 0)

@@ -1,0 +1,52 @@
+(** Simulated SSE vectors (§V): "we use Intel's SSE which uses 128 byte
+    [sic] vectors. We fill each vector with 4 32-bit single-precision
+    floating point numbers."
+
+    The vectorize transformation rewrites an innermost loop to operate on
+    4-wide vectors with a scalar epilogue; the interpreter executes those
+    vector IR operations through this module.  Lane width is a parameter
+    ("these parameters can be set differently for different systems") with
+    the paper's 4 as default. *)
+
+let default_width = 4
+
+type v = float array
+(** One vector register: [width] single-precision lanes.  We round values
+    through 32-bit precision on load/store boundaries to mirror SSE's
+    single-precision arithmetic being observable in the output. *)
+
+let to_f32 (x : float) : float = Int32.float_of_bits (Int32.bits_of_float x)
+
+(** [load a i ~width] — [_mm_loadu_ps]: lanes [a.(i) .. a.(i+width-1)]. *)
+let load (a : float array) i ~width : v =
+  Array.init width (fun k -> to_f32 a.(i + k))
+
+(** [splat x ~width] — [_mm_set1_ps]: all lanes equal to [x]. *)
+let splat x ~width : v = Array.make width (to_f32 x)
+
+(** [store a i v] — [_mm_storeu_ps]. *)
+let store (a : float array) i (v : v) =
+  Array.iteri (fun k x -> a.(i + k) <- to_f32 x) v
+
+let map2 f (x : v) (y : v) : v =
+  if Array.length x <> Array.length y then
+    invalid_arg "Simd: lane width mismatch";
+  Array.init (Array.length x) (fun k -> to_f32 (f x.(k) y.(k)))
+
+let add = map2 ( +. )  (** [_mm_add_ps] *)
+
+let sub = map2 ( -. )  (** [_mm_sub_ps] *)
+
+let mul = map2 ( *. )  (** [_mm_mul_ps] *)
+
+let div = map2 ( /. )  (** [_mm_div_ps] *)
+
+(** Horizontal sum of all lanes (used when a vectorized fold leaves the
+    loop). *)
+let hsum (v : v) = Array.fold_left ( +. ) 0. v
+
+let width (v : v) = Array.length v
+let lane (v : v) k = v.(k)
+let equal (a : v) (b : v) = a = b
+let pp ppf v =
+  Fmt.pf ppf "<%s>" (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%g") v)))

@@ -1,0 +1,1 @@
+lib/support/pos.ml: Char Fmt Int String

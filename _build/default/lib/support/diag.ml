@@ -1,0 +1,60 @@
+(** Diagnostics: errors, warnings and notes produced by every phase of the
+    translator (scanning, parsing, semantic analysis, lowering,
+    transformation binding checks, composability analyses).
+
+    A phase returns a list of diagnostics rather than raising, so the driver
+    can collect errors from several extensions' analyses before giving up —
+    mirroring how Silver collects the [errors] attribute over a whole tree. *)
+
+type severity = Error | Warning | Note
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+type t = {
+  severity : severity;
+  span : Pos.span;
+  phase : string;  (** e.g. "parse", "typecheck", "matrix", "transform" *)
+  message : string;
+}
+
+let make ?(severity = Error) ~phase ~span message =
+  { severity; span; phase; message }
+
+let error ~phase ~span fmt =
+  Format.kasprintf (fun message -> make ~severity:Error ~phase ~span message) fmt
+
+let warning ~phase ~span fmt =
+  Format.kasprintf
+    (fun message -> make ~severity:Warning ~phase ~span message)
+    fmt
+
+let note ~phase ~span fmt =
+  Format.kasprintf (fun message -> make ~severity:Note ~phase ~span message) fmt
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %s [%s]: %s" Pos.pp_span d.span
+    (severity_to_string d.severity)
+    d.phase d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+(** Render a diagnostic list, one per line, errors first. *)
+let pp_list ppf ds =
+  let rank d = match d.severity with Error -> 0 | Warning -> 1 | Note -> 2 in
+  let sorted = List.stable_sort (fun a b -> Int.compare (rank a) (rank b)) ds in
+  Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut pp) sorted
+
+exception Fatal of t
+(** Raised only for internal invariant violations that indicate a bug in the
+    translator itself (never for user errors in the input program). *)
+
+let fatal ~phase ~span fmt =
+  Format.kasprintf
+    (fun message -> raise (Fatal (make ~severity:Error ~phase ~span message)))
+    fmt

@@ -1,0 +1,48 @@
+(** Source positions and spans.
+
+    Every token and syntax-tree node carries a {!span} so diagnostics can
+    point back into the extended-C source text. *)
+
+type t = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based byte offset into the source buffer *)
+}
+
+let start = { line = 1; col = 1; offset = 0 }
+
+(** [advance p c] is the position immediately after reading character [c]
+    at position [p]. Newlines reset the column and bump the line. *)
+let advance p c =
+  if Char.equal c '\n' then
+    { line = p.line + 1; col = 1; offset = p.offset + 1 }
+  else { p with col = p.col + 1; offset = p.offset + 1 }
+
+(** [advance_string p s] advances [p] over every character of [s]. *)
+let advance_string p s = String.fold_left advance p s
+
+let compare a b = Int.compare a.offset b.offset
+let equal a b = a.offset = b.offset
+let pp ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+let to_string p = Fmt.str "%a" pp p
+
+type span = { left : t; right : t }
+(** A half-open region of source text: [left] is the first character,
+    [right] is one past the last. *)
+
+let span left right = { left; right }
+let dummy_span = { left = start; right = start }
+
+(** Smallest span covering both arguments. *)
+let merge a b =
+  {
+    left = (if compare a.left b.left <= 0 then a.left else b.left);
+    right = (if compare a.right b.right >= 0 then a.right else b.right);
+  }
+
+let pp_span ppf s =
+  if s.left.line = s.right.line then
+    Fmt.pf ppf "%d:%d-%d" s.left.line s.left.col s.right.col
+  else Fmt.pf ppf "%a-%a" pp s.left pp s.right
+
+let span_to_string s = Fmt.str "%a" pp_span s

@@ -1,0 +1,1 @@
+test/test_ag.ml: Ag Alcotest Array Cfg Grammar Lalr Lazy Lexer List Parser Printexc

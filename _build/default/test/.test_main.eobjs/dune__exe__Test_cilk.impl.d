@@ -1,0 +1,1 @@
+test/test_cilk.ml: Alcotest Driver Filename Grammar Interp List Printf Runtime String Sys

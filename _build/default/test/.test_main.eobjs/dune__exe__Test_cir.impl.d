@@ -1,0 +1,1 @@
+test/test_cir.ml: Alcotest Array Cir Float Fun Interp List Printf QCheck QCheck_alcotest Runtime String

@@ -1,0 +1,1 @@
+test/test_eddy.ml: Alcotest Array Eddy Fun Gen Hashtbl List Option Printf QCheck QCheck_alcotest Runtime

@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Analysis Array Cfg Determinism Grammar Hashtbl Int Lalr Lexer List Parser Printf Set String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_ag Test_cilk Test_cir Test_eddy Test_grammar Test_pipeline Test_programs Test_regexe Test_runtime

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Ag Alcotest Array Cminus Driver Eddy Ext_tuples Filename Grammar Hashtbl Interp List Printf Runtime String Sys

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Driver Eddy Filename Gen Interp List Printf QCheck QCheck_alcotest Runtime String Sys

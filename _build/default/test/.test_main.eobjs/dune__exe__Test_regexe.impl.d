@@ -1,0 +1,1 @@
+test/test_regexe.ml: Alcotest Bool Dfa List Nfa Printf QCheck QCheck_alcotest Regexe Syntax

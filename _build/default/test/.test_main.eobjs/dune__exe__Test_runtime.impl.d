@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Filename Fun Gen List Ndarray Pool QCheck QCheck_alcotest Rc Runtime Scalar Shape Simd Sys

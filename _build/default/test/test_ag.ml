@@ -1,0 +1,354 @@
+(* The attribute-grammar engine (§VI-B): synthesized/inherited evaluation,
+   autocopy environments, forwarding (extension constructs getting host
+   semantics "for free"), higher-order decoration — demonstrated on a
+   little calculator language with a `double x` extension construct — and
+   the modular well-definedness analysis on declared AG specs. *)
+
+open Grammar
+
+let owner = "host"
+
+(* calc: E ::= E + T | T ; T ::= NUM | ID | ( E ) ; ext: T ::= double T *)
+let calc_host : Cfg.t =
+  {
+    name = "host";
+    terminals =
+      [
+        Cfg.terminal ~owner "NUM" "[0-9]+";
+        Cfg.terminal ~owner "ID" "[a-z]+";
+        Cfg.keyword ~owner "PLUS" "+";
+        Cfg.keyword ~owner "LP" "(";
+        Cfg.keyword ~owner "RP" ")";
+      ];
+    layout = [ Cfg.terminal ~owner "WS" "[ ]+" ];
+    productions =
+      [
+        Cfg.production ~owner ~name:"e_plus" "E" [ Cfg.N "E"; Cfg.T "PLUS"; Cfg.N "T" ];
+        Cfg.production ~owner ~name:"e_t" "E" [ Cfg.N "T" ];
+        Cfg.production ~owner ~name:"t_num" "T" [ Cfg.T "NUM" ];
+        Cfg.production ~owner ~name:"t_id" "T" [ Cfg.T "ID" ];
+        Cfg.production ~owner ~name:"t_paren" "T" [ Cfg.T "LP"; Cfg.N "E"; Cfg.T "RP" ];
+      ];
+    start = Some "E";
+  }
+
+let calc_ext : Cfg.t =
+  {
+    name = "doubler";
+    terminals = [ Cfg.keyword ~owner:"doubler" "KW_double" "double" ];
+    layout = [];
+    productions =
+      [
+        Cfg.production ~owner:"doubler" ~name:"t_double" "T"
+          [ Cfg.T "KW_double"; Cfg.N "T" ];
+      ];
+    start = None;
+  }
+
+let table = lazy (Lalr.build (Cfg.compose calc_host [ calc_ext ]))
+let parse src =
+  match Parser.Driver.parse (Parser.Driver.create (Lazy.force table)) src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse: %a" Parser.Driver.pp_error e
+
+(* Attributes: value (syn), env (inh, autocopy). *)
+let value : int Ag.Engine.attr = Ag.Engine.syn "value"
+let env : (string * int) list Ag.Engine.attr = Ag.Engine.inh ~autocopy:true "env"
+
+let leafv n i =
+  match Parser.Tree.leaf_text (Ag.Engine.tree (Ag.Engine.child n i)) with
+  | Some s -> s
+  | None -> Alcotest.fail "expected leaf"
+
+let make_spec ~with_doubler_eq () =
+  let sp = Ag.Engine.spec "calc" in
+  let open Ag.Engine in
+  define_syn sp ~prod:"e_plus" value (fun n ->
+      get_syn (child n 0) value + get_syn (child n 2) value);
+  define_syn sp ~prod:"e_t" value (fun n -> get_syn (child n 0) value);
+  define_syn sp ~prod:"t_num" value (fun n -> int_of_string (leafv n 0));
+  define_syn sp ~prod:"t_id" value (fun n ->
+      List.assoc (leafv n 0) (get_inh n env));
+  define_syn sp ~prod:"t_paren" value (fun n -> get_syn (child n 1) value);
+  if with_doubler_eq then
+    (* explicit equation for the extension construct *)
+    define_syn sp ~prod:"t_double" value (fun n ->
+        2 * get_syn (child n 1) value)
+  else
+    (* forwarding: `double t` forwards to `t + t`-shaped host tree, and
+       gets every attribute it does not define from there (§VI-B) *)
+    define_forward sp ~prod:"t_double" (fun n ->
+        match Ag.Engine.tree n with
+        | Parser.Tree.Node (_, [ _kw; t ], span) ->
+            let plus =
+              List.find
+                (fun p -> p.Cfg.p_name = "e_plus")
+                (Cfg.compose calc_host [ calc_ext ]).Cfg.productions
+            in
+            let e_t =
+              List.find
+                (fun p -> p.Cfg.p_name = "e_t")
+                calc_host.Cfg.productions
+            in
+            let t_paren =
+              List.find
+                (fun p -> p.Cfg.p_name = "t_paren")
+                calc_host.Cfg.productions
+            in
+            let dummy_tok name =
+              Parser.Tree.Leaf
+                {
+                  Lexer.Token.term = name;
+                  term_id = 0;
+                  lexeme = name;
+                  span;
+                }
+            in
+            let e_of_t = Parser.Tree.Node (e_t, [ t ], span) in
+            Parser.Tree.Node
+              ( t_paren,
+                [
+                  dummy_tok "(";
+                  Parser.Tree.Node (plus, [ e_of_t; dummy_tok "+"; t ], span);
+                  dummy_tok ")";
+                ],
+                span )
+        | _ -> Alcotest.fail "bad double node");
+  sp
+
+let eval_with spec src bindings =
+  let root = Ag.Engine.decorate spec (parse src) in
+  Ag.Engine.set_inh root env bindings;
+  Ag.Engine.get_syn root value
+
+let test_basic_eval () =
+  let sp = make_spec ~with_doubler_eq:true () in
+  Alcotest.(check int) "1 + 2 + 3" 6 (eval_with sp "1 + 2 + 3" []);
+  Alcotest.(check int) "(1 + 2) + 40" 43 (eval_with sp "(1 + 2) + 40" [])
+
+let test_inherited_env () =
+  let sp = make_spec ~with_doubler_eq:true () in
+  (* env autocopies down to the t_id leaf through every production *)
+  Alcotest.(check int) "x + (y + 1)" 30
+    (eval_with sp "x + (y + 1)" [ ("x", 9); ("y", 20) ])
+
+let test_extension_equation () =
+  let sp = make_spec ~with_doubler_eq:true () in
+  Alcotest.(check int) "double (2 + 3)" 10 (eval_with sp "double (2 + 3)" [])
+
+let test_forwarding () =
+  (* no explicit value equation: t_double forwards to (t + t) and the value
+     attribute is computed on the forward tree *)
+  let sp = make_spec ~with_doubler_eq:false () in
+  Alcotest.(check int) "forwarded double" 10 (eval_with sp "double (2 + 3)" []);
+  (* forwarding sees inherited attributes of the original node *)
+  Alcotest.(check int) "forwarded with env" 14
+    (eval_with sp "double x" [ ("x", 7) ])
+
+let test_missing_equation () =
+  let sp = Ag.Engine.spec "broken" in
+  Ag.Engine.define_syn sp ~prod:"e_t" value (fun n ->
+      Ag.Engine.get_syn (Ag.Engine.child n 0) value);
+  let root = Ag.Engine.decorate sp (parse "1") in
+  match Ag.Engine.get_syn root value with
+  | exception Ag.Engine.Missing_equation { production = "t_num"; attribute = "value"; _ } -> ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Missing_equation"
+
+let test_default_equation () =
+  let sp = Ag.Engine.spec "defaults" in
+  let count : int Ag.Engine.attr = Ag.Engine.syn "count" in
+  (* default: count the node itself plus all children (collection-style) *)
+  Ag.Engine.define_default sp count (fun n ->
+      Array.fold_left
+        (fun acc k -> acc + Ag.Engine.get_syn k count)
+        1
+        (Ag.Engine.children n));
+  let root = Ag.Engine.decorate sp (parse "1 + 2") in
+  (* nodes: e_plus, e_t, t_num(1), leaf(1), leaf(+), t_num, leaf(2) *)
+  Alcotest.(check int) "default counts nodes" 7 (Ag.Engine.get_syn root count)
+
+let test_merge_conflict () =
+  let a = Ag.Engine.spec "a" and b = Ag.Engine.spec "b" in
+  Ag.Engine.define_syn a ~prod:"t_num" value (fun _ -> 1);
+  Ag.Engine.define_syn b ~prod:"t_num" value (fun _ -> 2);
+  match Ag.Engine.merge a b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-equation rejection"
+
+(* --- modular well-definedness ------------------------------------------------ *)
+
+let host_spec : Ag.Wellformed.spec =
+  {
+    sp_name = "host";
+    attrs =
+      [
+        {
+          a_name = "value";
+          a_mode = Ag.Wellformed.Syn;
+          a_autocopy = false;
+          a_occurs = [ "E"; "T" ];
+          a_owner = "host";
+          a_default = false;
+        };
+        {
+          a_name = "env";
+          a_mode = Ag.Wellformed.Inh;
+          a_autocopy = true;
+          a_occurs = [ "E"; "T" ];
+          a_owner = "host";
+          a_default = false;
+        };
+      ];
+    prods =
+      [
+        Ag.Wellformed.full_prod ~owner:"host" ~lhs:"E" ~children:[ "E"; "T" ]
+          ~defines:[ "value" ] "e_plus";
+        Ag.Wellformed.full_prod ~owner:"host" ~lhs:"E" ~children:[ "T" ]
+          ~defines:[ "value" ] "e_t";
+        Ag.Wellformed.full_prod ~owner:"host" ~lhs:"T" ~children:[]
+          ~defines:[ "value" ] "t_num";
+      ];
+  }
+
+let test_wellformed_pass () =
+  let good : Ag.Wellformed.spec =
+    {
+      sp_name = "doubler";
+      attrs = [];
+      prods =
+        [
+          Ag.Wellformed.full_prod ~owner:"doubler" ~lhs:"T" ~children:[ "T" ]
+            ~defines:[ "value" ] "t_double";
+        ];
+    }
+  in
+  let r = Ag.Wellformed.check ~host:host_spec good in
+  if not r.Ag.Wellformed.passes then
+    Alcotest.failf "expected pass: %a" Ag.Wellformed.pp_report r
+
+let test_wellformed_forwarding_pass () =
+  let fwd : Ag.Wellformed.spec =
+    {
+      sp_name = "fwd";
+      attrs = [];
+      prods =
+        [
+          Ag.Wellformed.full_prod ~owner:"fwd" ~lhs:"T" ~children:[ "T" ]
+            ~forwards:true "t_double";
+        ];
+    }
+  in
+  let r = Ag.Wellformed.check ~host:host_spec fwd in
+  Alcotest.(check bool) "forwarding satisfies synthesis" true
+    r.Ag.Wellformed.passes
+
+let test_wellformed_missing_equation () =
+  let bad : Ag.Wellformed.spec =
+    {
+      sp_name = "bad";
+      attrs = [];
+      prods =
+        [
+          (* defines nothing and does not forward: value is missing *)
+          Ag.Wellformed.full_prod ~owner:"bad" ~lhs:"T" ~children:[ "T" ]
+            "t_double";
+        ];
+    }
+  in
+  let r = Ag.Wellformed.check ~host:host_spec bad in
+  Alcotest.(check bool) "fails" false r.Ag.Wellformed.passes;
+  Alcotest.(check bool) "complete-synthesis violation" true
+    (List.exists
+       (fun v -> v.Ag.Wellformed.rule = "complete-synthesis")
+       r.Ag.Wellformed.violations)
+
+let test_wellformed_orphan_attr () =
+  let bad : Ag.Wellformed.spec =
+    {
+      sp_name = "orphan";
+      attrs =
+        [
+          {
+            a_name = "depth";
+            a_mode = Ag.Wellformed.Syn;
+            a_autocopy = false;
+            a_occurs = [ "E" ] (* host NT! *);
+            a_owner = "orphan";
+            a_default = false;
+          };
+        ];
+      prods = [];
+    }
+  in
+  let r = Ag.Wellformed.check ~host:host_spec bad in
+  Alcotest.(check bool) "fails" false r.Ag.Wellformed.passes;
+  Alcotest.(check bool) "orphan-attribute violation" true
+    (List.exists
+       (fun v -> v.Ag.Wellformed.rule = "orphan-attribute")
+       r.Ag.Wellformed.violations)
+
+let test_wellformed_orphan_with_default () =
+  let ok : Ag.Wellformed.spec =
+    {
+      sp_name = "aspect";
+      attrs =
+        [
+          {
+            a_name = "depth";
+            a_mode = Ag.Wellformed.Syn;
+            a_autocopy = false;
+            a_occurs = [ "E" ];
+            a_owner = "aspect";
+            a_default = true (* has a default equation: fine *);
+          };
+        ];
+      prods = [];
+    }
+  in
+  let r = Ag.Wellformed.check ~host:host_spec ok in
+  Alcotest.(check bool) "default rescues orphan attribute" true
+    r.Ag.Wellformed.passes
+
+let test_wellformed_noninterference () =
+  let bad : Ag.Wellformed.spec =
+    {
+      sp_name = "meddler";
+      attrs = [];
+      prods =
+        [
+          (* redefines a host attribute on a host production *)
+          Ag.Wellformed.full_prod ~owner:"host" ~lhs:"T" ~children:[]
+            ~defines:[ "value" ] "t_num";
+        ];
+    }
+  in
+  let r = Ag.Wellformed.check ~host:host_spec bad in
+  Alcotest.(check bool) "non-interference violation" true
+    (List.exists
+       (fun v -> v.Ag.Wellformed.rule = "non-interference")
+       r.Ag.Wellformed.violations)
+
+let suite =
+  [
+    Alcotest.test_case "synthesized evaluation" `Quick test_basic_eval;
+    Alcotest.test_case "inherited autocopy env" `Quick test_inherited_env;
+    Alcotest.test_case "extension equation" `Quick test_extension_equation;
+    Alcotest.test_case "forwarding" `Quick test_forwarding;
+    Alcotest.test_case "missing equation detected" `Quick test_missing_equation;
+    Alcotest.test_case "default (collection) equations" `Quick
+      test_default_equation;
+    Alcotest.test_case "merge rejects duplicate equations" `Quick
+      test_merge_conflict;
+    Alcotest.test_case "well-definedness: pass" `Quick test_wellformed_pass;
+    Alcotest.test_case "well-definedness: forwarding" `Quick
+      test_wellformed_forwarding_pass;
+    Alcotest.test_case "well-definedness: missing equation" `Quick
+      test_wellformed_missing_equation;
+    Alcotest.test_case "well-definedness: orphan attribute" `Quick
+      test_wellformed_orphan_attr;
+    Alcotest.test_case "well-definedness: default rescues orphan" `Quick
+      test_wellformed_orphan_with_default;
+    Alcotest.test_case "well-definedness: non-interference" `Quick
+      test_wellformed_noninterference;
+  ]

@@ -1,0 +1,312 @@
+(* The spatio-temporal data-mining application layer (§IV): synthetic SSH
+   generation with ground truth, connected components vs a flood-fill
+   oracle, trough scoring on planted signatures, and eddy tracking. *)
+
+module Nd = Runtime.Ndarray
+module S = Runtime.Scalar
+
+(* --- synthetic SSH ------------------------------------------------------------ *)
+
+let test_generator_shape_and_determinism () =
+  let a, truth = Eddy.Ssh_gen.generate ~lat:10 ~lon:12 ~time:6 ~n_eddies:3 ~seed:42 () in
+  let b, _ = Eddy.Ssh_gen.generate ~lat:10 ~lon:12 ~time:6 ~n_eddies:3 ~seed:42 () in
+  Alcotest.(check (array int)) "shape" [| 10; 12; 6 |] (Nd.shape a);
+  Alcotest.(check bool) "deterministic for a fixed seed" true (Nd.equal a b);
+  Alcotest.(check int) "truth has requested eddies" 3
+    (List.length truth.Eddy.Ssh_gen.eddies);
+  let c, _ = Eddy.Ssh_gen.generate ~lat:10 ~lon:12 ~time:6 ~n_eddies:3 ~seed:43 () in
+  Alcotest.(check bool) "different seeds differ" false (Nd.equal a c)
+
+let test_eddy_leaves_depression () =
+  let cube, truth =
+    Eddy.Ssh_gen.generate ~noise:0.0 ~swell:0.0 ~lat:16 ~lon:16 ~time:4
+      ~n_eddies:1 ~seed:5 ()
+  in
+  let e = List.hd truth.Eddy.Ssh_gen.eddies in
+  match Eddy.Ssh_gen.position e e.Eddy.Ssh_gen.t_start with
+  | None -> Alcotest.fail "eddy not alive at its own start"
+  | Some (ei, ej) ->
+      let i = int_of_float ei and j = int_of_float ej in
+      let centre =
+        S.to_float (Nd.get cube [| i; j; e.Eddy.Ssh_gen.t_start |])
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "centre is depressed (%g)" centre)
+        true (centre < -0.3)
+
+(* --- connected components ------------------------------------------------------ *)
+
+(* flood-fill oracle *)
+let flood_label (mask : Nd.t) : Nd.t =
+  let sh = Nd.shape mask in
+  let m = sh.(0) and n = sh.(1) in
+  let out = Nd.create Nd.EInt [| m; n |] in
+  let next = ref 0 in
+  let at i j = S.to_bool (Nd.get mask [| i; j |]) in
+  let lab i j = S.to_int (Nd.get out [| i; j |]) in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      if at i j && lab i j = 0 then begin
+        incr next;
+        let stack = ref [ (i, j) ] in
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | (x, y) :: rest ->
+              stack := rest;
+              if x >= 0 && x < m && y >= 0 && y < n && at x y && lab x y = 0
+              then begin
+                Nd.set out [| x; y |] (S.I !next);
+                stack :=
+                  (x - 1, y) :: (x + 1, y) :: (x, y - 1) :: (x, y + 1) :: !stack
+              end
+        done
+      end
+    done
+  done;
+  out
+
+let same_partition a b =
+  let ok = ref true in
+  let fwd = Hashtbl.create 16 and bwd = Hashtbl.create 16 in
+  for off = 0 to Nd.size a - 1 do
+    let x = S.to_int (Nd.get_flat a off) and y = S.to_int (Nd.get_flat b off) in
+    if (x = 0) <> (y = 0) then ok := false
+    else if x <> 0 then begin
+      (match Hashtbl.find_opt fwd x with
+      | Some y' -> if y <> y' then ok := false
+      | None -> Hashtbl.replace fwd x y);
+      match Hashtbl.find_opt bwd y with
+      | Some x' -> if x <> x' then ok := false
+      | None -> Hashtbl.replace bwd y x
+    end
+  done;
+  !ok
+
+let prop_unionfind_vs_floodfill =
+  QCheck.Test.make ~name:"union-find labelling = flood fill" ~count:100
+    QCheck.(
+      make
+        Gen.(
+          let* m = 1 -- 8 and* n = 1 -- 8 in
+          let* cells = array_size (return (m * n)) bool in
+          return (m, n, cells)))
+    (fun (m, n, cells) ->
+      let mask = Nd.of_bool_array [| m; n |] cells in
+      same_partition (Eddy.Conncomp.label mask) (flood_label mask))
+
+let test_label_shapes () =
+  let mask =
+    Nd.of_bool_array [| 3; 5 |]
+      [|
+        true; true; false; true; true;
+        false; false; false; false; true;
+        true; false; true; false; true;
+      |]
+  in
+  let labels = Eddy.Conncomp.label mask in
+  Alcotest.(check int) "component count" 4 (Eddy.Conncomp.count_components labels);
+  let comps = Eddy.Conncomp.components labels in
+  Alcotest.(check int) "components listed" 4 (List.length comps);
+  let sizes = List.map (fun c -> c.Eddy.Conncomp.cells) comps |> List.sort compare in
+  Alcotest.(check (list int)) "component sizes" [ 1; 1; 2; 4 ] sizes
+
+let test_detection_finds_planted_eddies () =
+  let cube, truth =
+    Eddy.Ssh_gen.generate ~noise:0.01 ~swell:0.02 ~lat:24 ~lon:24 ~time:8
+      ~n_eddies:2 ~seed:11 ()
+  in
+  (* every planted eddy alive at t should have a detection near it *)
+  let hits = ref 0 and alive = ref 0 in
+  for t = 0 to 7 do
+    let dets = Eddy.Conncomp.detect_frame ~threshold:(-0.25) (Eddy.Ssh_gen.frame cube t) in
+    List.iter
+      (fun e ->
+        match Eddy.Ssh_gen.position e t with
+        | None -> ()
+        | Some (ei, ej) ->
+            incr alive;
+            if
+              List.exists
+                (fun (c : Eddy.Conncomp.component) ->
+                  let ci, cj = c.Eddy.Conncomp.centroid in
+                  let d = sqrt (((ci -. ei) ** 2.) +. ((cj -. ej) ** 2.)) in
+                  d < 3.)
+                dets
+            then incr hits)
+      truth.Eddy.Ssh_gen.eddies
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "detections cover planted eddies (%d/%d)" !hits !alive)
+    true
+    (float_of_int !hits >= 0.7 *. float_of_int !alive)
+
+let test_iterative_thresholding_monotone () =
+  let cube, _ =
+    Eddy.Ssh_gen.generate ~lat:20 ~lon:20 ~time:2 ~n_eddies:2 ~seed:3 ()
+  in
+  let fr = Eddy.Ssh_gen.frame cube 0 in
+  let by_threshold = Eddy.Conncomp.detect_iterative ~lo:(-0.9) ~hi:(-0.05) ~steps:6 fr in
+  (* deeper thresholds select fewer cells *)
+  let cellcount (_, comps) =
+    List.fold_left (fun acc c -> acc + c.Eddy.Conncomp.cells) 0 comps
+  in
+  let counts = List.map cellcount by_threshold in
+  let sorted = List.sort compare counts in
+  Alcotest.(check (list int)) "cell count grows with threshold" sorted counts
+
+(* --- temporal scoring ------------------------------------------------------------ *)
+
+let planted_series p =
+  Array.init p (fun k ->
+      let fk = float_of_int k in
+      if k < 10 then 1.0 +. (0.01 *. fk)
+      else if k < 20 then 1.1 -. (0.1 *. (fk -. 10.))
+      else if k < 30 then 0.1 +. (0.1 *. (fk -. 20.))
+      else 1.1 -. (0.005 *. (fk -. 30.)))
+
+let test_get_trough () =
+  let ts = planted_series 40 in
+  let trough, b, e = Eddy.Score.get_trough ts 10 in
+  Alcotest.(check int) "beginning" 10 b;
+  Alcotest.(check int) "end at next local max" 30 e;
+  Alcotest.(check int) "trough length" 21 (Array.length trough);
+  Alcotest.(check (float 1e-6)) "trough floor" 0.1
+    (Array.fold_left min infinity trough)
+
+let test_compute_area () =
+  (* V-shaped trough: line from 1 to 1 over [0;4], values 1,0.5,0,0.5,1 *)
+  let aoi = [| 1.; 0.5; 0.; 0.5; 1. |] in
+  let area = Eddy.Score.compute_area aoi in
+  Alcotest.(check int) "broadcast length" 5 (Array.length area);
+  Alcotest.(check (float 1e-6)) "area = 2" 2. area.(0);
+  Alcotest.(check bool) "all points get the area" true
+    (Array.for_all (fun x -> abs_float (x -. 2.) < 1e-9) area)
+
+let test_score_ranks_trough_over_noise () =
+  let scores = Eddy.Score.score_ts (planted_series 40) in
+  Alcotest.(check bool) "deep trough scores high" true (scores.(15) > 5.);
+  Alcotest.(check bool) "shallow tail scores low" true
+    (scores.(35) < 0.5 *. scores.(15))
+
+let test_score_edge_cases () =
+  Alcotest.(check (array (float 0.))) "empty" [||] (Eddy.Score.score_ts [||]);
+  Alcotest.(check (array (float 0.))) "singleton" [| 0. |]
+    (Eddy.Score.score_ts [| 1. |]);
+  (* monotonically rising series: trimming consumes it, no troughs *)
+  let rising = Array.init 10 float_of_int in
+  Alcotest.(check bool) "rising series scores zero" true
+    (Array.for_all (fun x -> x = 0.) (Eddy.Score.score_ts rising));
+  (* monotonically falling: one trough to the end *)
+  let falling = Array.init 10 (fun k -> -.float_of_int k) in
+  let s = Eddy.Score.score_ts falling in
+  Alcotest.(check int) "defined everywhere" 10 (Array.length s)
+
+let test_score_cube_consistency () =
+  let cube, _ =
+    Eddy.Ssh_gen.generate ~lat:4 ~lon:4 ~time:30 ~n_eddies:1 ~seed:9 ()
+  in
+  let scored = Eddy.Score.score_cube cube in
+  Alcotest.(check (array int)) "same shape" (Nd.shape cube) (Nd.shape scored);
+  (* spot-check one series against score_ts *)
+  let ts = Array.init 30 (fun k -> S.to_float (Nd.get cube [| 2; 3; k |])) in
+  let expect = Eddy.Score.score_ts ts in
+  let got = Array.init 30 (fun k -> S.to_float (Nd.get scored [| 2; 3; k |])) in
+  Alcotest.(check bool) "matches per-series scoring" true (expect = got)
+
+(* --- tracking ---------------------------------------------------------------------- *)
+
+let det t (i, j) cells = { Eddy.Track.d_t = t; d_centroid = (i, j); d_cells = cells }
+
+let test_tracking_continuity () =
+  (* one eddy drifting right one cell per frame, one stationary *)
+  let frames =
+    Array.init 5 (fun t ->
+        [
+          det t (2., 2. +. float_of_int t) 6;
+          det t (8., 8.) 5;
+        ])
+  in
+  let tracks = Eddy.Track.run ~max_dist:2.0 frames in
+  Alcotest.(check int) "two tracks" 2 (List.length tracks);
+  List.iter
+    (fun tr -> Alcotest.(check int) "track spans all frames" 5 (List.length tr))
+    tracks
+
+let test_tracking_gap_tolerance () =
+  (* detection missing at t=2 (the §IV failure mode) *)
+  let frames =
+    Array.init 5 (fun t ->
+        if t = 2 then [] else [ det t (3., 3. +. float_of_int t) 6 ])
+  in
+  let with_gap = Eddy.Track.run ~max_dist:2.5 ~max_gap:2 frames in
+  Alcotest.(check int) "gap bridged: one track" 1
+    (List.length (Eddy.Track.long_tracks ~min_len:3 with_gap));
+  let no_gap = Eddy.Track.run ~max_dist:2.5 ~max_gap:0 frames in
+  Alcotest.(check bool) "without tolerance the track fragments" true
+    (List.length no_gap > 1)
+
+let test_tracking_coverage_metric () =
+  let truth = List.init 4 (fun t -> (t, (1., 1. +. float_of_int t))) in
+  let perfect =
+    [ List.init 4 (fun t -> det t (1., 1. +. float_of_int t) 5) ]
+  in
+  Alcotest.(check (float 1e-9)) "perfect coverage" 1.0
+    (Eddy.Track.coverage ~truth perfect);
+  Alcotest.(check (float 1e-9)) "no tracks, no coverage" 0.0
+    (Eddy.Track.coverage ~truth [])
+
+let test_end_to_end_detection_tracking () =
+  let cube, truth =
+    Eddy.Ssh_gen.generate ~noise:0.01 ~swell:0.02 ~lat:24 ~lon:24 ~time:10
+      ~n_eddies:1 ~seed:21 ()
+  in
+  let e = List.hd truth.Eddy.Ssh_gen.eddies in
+  let frames =
+    Array.init 10 (fun t ->
+        Eddy.Conncomp.detect_frame ~threshold:(-0.25) (Eddy.Ssh_gen.frame cube t)
+        |> List.map (fun (c : Eddy.Conncomp.component) ->
+               {
+                 Eddy.Track.d_t = t;
+                 d_centroid = c.Eddy.Conncomp.centroid;
+                 d_cells = c.Eddy.Conncomp.cells;
+               }))
+  in
+  let tracks = Eddy.Track.run ~max_dist:3.0 ~max_gap:1 frames in
+  let truth_traj =
+    List.filter_map
+      (fun t ->
+        Option.map (fun pos -> (t, pos)) (Eddy.Ssh_gen.position e t))
+      (List.init 10 Fun.id)
+  in
+  let cov = Eddy.Track.coverage ~truth:truth_traj tracks in
+  Alcotest.(check bool)
+    (Printf.sprintf "planted eddy tracked (coverage %.2f)" cov)
+    true (cov >= 0.6)
+
+let suite =
+  [
+    Alcotest.test_case "generator determinism" `Quick
+      test_generator_shape_and_determinism;
+    Alcotest.test_case "eddies depress SSH (Fig 6)" `Quick
+      test_eddy_leaves_depression;
+    QCheck_alcotest.to_alcotest prop_unionfind_vs_floodfill;
+    Alcotest.test_case "component statistics" `Quick test_label_shapes;
+    Alcotest.test_case "detection finds planted eddies" `Quick
+      test_detection_finds_planted_eddies;
+    Alcotest.test_case "iterative thresholding monotone" `Quick
+      test_iterative_thresholding_monotone;
+    Alcotest.test_case "getTrough (Fig 8)" `Quick test_get_trough;
+    Alcotest.test_case "computeArea (Fig 7)" `Quick test_compute_area;
+    Alcotest.test_case "scores rank troughs over noise" `Quick
+      test_score_ranks_trough_over_noise;
+    Alcotest.test_case "scoring edge cases" `Quick test_score_edge_cases;
+    Alcotest.test_case "score_cube = per-series scoring" `Quick
+      test_score_cube_consistency;
+    Alcotest.test_case "tracking continuity" `Quick test_tracking_continuity;
+    Alcotest.test_case "tracking gap tolerance (§IV)" `Quick
+      test_tracking_gap_tolerance;
+    Alcotest.test_case "coverage metric" `Quick test_tracking_coverage_metric;
+    Alcotest.test_case "detect + track end-to-end" `Quick
+      test_end_to_end_detection_tracking;
+  ]

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "mmc"
+    [
+      ("regexe", Test_regexe.suite);
+      ("grammar", Test_grammar.suite);
+      ("runtime", Test_runtime.suite);
+      ("cir", Test_cir.suite);
+      ("ag", Test_ag.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("eddy", Test_eddy.suite);
+      ("cilk", Test_cilk.suite);
+      ("programs", Test_programs.suite);
+    ]

@@ -1,0 +1,122 @@
+(* Regex engine: parser, NFA reference semantics, DFA equivalence,
+   longest-match behaviour used by the scanner. *)
+
+open Regexe
+
+let dfa_of src = Dfa.of_regex (Syntax.parse src)
+let matches src s = Dfa.matches (dfa_of src) s
+
+let check_match re s expected () =
+  Alcotest.(check bool) (Printf.sprintf "%s =~ %S" re s) expected (matches re s)
+
+let basic_cases =
+  [
+    ("abc", "abc", true);
+    ("abc", "ab", false);
+    ("abc", "abcd", false);
+    ("a|b", "a", true);
+    ("a|b", "b", true);
+    ("a|b", "c", false);
+    ("a*", "", true);
+    ("a*", "aaaa", true);
+    ("a*", "aab", false);
+    ("a+", "", false);
+    ("a+", "aaa", true);
+    ("a?b", "b", true);
+    ("a?b", "ab", true);
+    ("a?b", "aab", false);
+    ("(ab)*", "ababab", true);
+    ("(ab)*", "aba", false);
+    ("[a-z]+", "hello", true);
+    ("[a-z]+", "Hello", false);
+    ("[a-zA-Z_][a-zA-Z0-9_]*", "x_42", true);
+    ("[a-zA-Z_][a-zA-Z0-9_]*", "42x", false);
+    ("[^0-9]+", "abc!", true);
+    ("[^0-9]+", "ab3", false);
+    ("[0-9]+\\.[0-9]+", "3.14", true);
+    ("[0-9]+\\.[0-9]+", "314", false);
+    (".", "a", true);
+    (".", "\n", false);
+    ("a\\*b", "a*b", true);
+    ("a\\*b", "aab", false);
+    ("//[^\n]*", "// comment here", true);
+    ("[ \t\n\r]+", " \t\n", true);
+  ]
+
+let test_longest_match () =
+  let dfa = dfa_of "[0-9]+" in
+  Alcotest.(check (option int)) "digits" (Some 3) (Dfa.longest_match dfa "123abc" 0);
+  Alcotest.(check (option int)) "offset" (Some 2) (Dfa.longest_match dfa "ab12cd" 2);
+  Alcotest.(check (option int)) "none" None (Dfa.longest_match dfa "abc" 0);
+  (* A nullable regex must not report empty matches. *)
+  let star = dfa_of "a*" in
+  Alcotest.(check (option int)) "no empty match" None (Dfa.longest_match star "bbb" 0);
+  Alcotest.(check (option int)) "nonempty ok" (Some 2) (Dfa.longest_match star "aab" 0)
+
+let test_parse_errors () =
+  let bad = [ "(ab"; "a)"; "[abc"; "*a"; "a|"; "\\" ] in
+  List.iter
+    (fun src ->
+      match Syntax.parse src with
+      | exception Syntax.Parse_error _ -> ()
+      | exception _ -> Alcotest.failf "wrong exception for %S" src
+      | _ ->
+          (* "a|" parses as a|ε which we accept; skip only that one *)
+          if src <> "a|" then Alcotest.failf "expected parse error for %S" src)
+    bad
+
+(* QCheck: random regexes over a tiny alphabet; DFA agrees with the NFA
+   reference matcher on random strings. *)
+let gen_regex =
+  let open QCheck.Gen in
+  (* Keep regexes small: DFA subset construction is worst-case exponential
+     in NFA size, and real terminal regexes are tiny. *)
+  sized_size (0 -- 8) @@ fix (fun self n ->
+      if n <= 1 then
+        oneof
+          [
+            map (fun c -> Syntax.Char c) (oneofl [ 'a'; 'b'; 'c' ]);
+            return Syntax.Empty;
+            return (Syntax.Class (false, [ ('a', 'b') ]));
+            return (Syntax.Class (true, [ ('a', 'a') ]));
+          ]
+      else
+        oneof
+          [
+            map2 (fun x y -> Syntax.Seq (x, y)) (self (n / 2)) (self (n / 2));
+            map2 (fun x y -> Syntax.Alt (x, y)) (self (n / 2)) (self (n / 2));
+            map (fun x -> Syntax.Star x) (self (n - 1));
+            map (fun x -> Syntax.Plus x) (self (n - 1));
+            map (fun x -> Syntax.Opt x) (self (n - 1));
+          ])
+
+let gen_string =
+  QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b'; 'c'; 'd' ]) (0 -- 8))
+
+let prop_dfa_equals_nfa =
+  QCheck.Test.make ~name:"dfa accepts iff nfa accepts" ~count:500
+    (QCheck.make (QCheck.Gen.pair gen_regex gen_string))
+    (fun (re, s) ->
+      let nfa = Nfa.of_regex re in
+      let dfa = Dfa.of_nfa nfa in
+      Bool.equal (Nfa.accepts nfa s) (Dfa.matches dfa s))
+
+let prop_literal_roundtrip =
+  QCheck.Test.make ~name:"literal s matches exactly s" ~count:200
+    (QCheck.make gen_string) (fun s ->
+      let dfa = Dfa.of_regex (Syntax.literal s) in
+      Dfa.matches dfa s
+      && ((s = "") || not (Dfa.matches dfa (s ^ "x"))))
+
+let suite =
+  List.map
+    (fun (re, s, exp) ->
+      Alcotest.test_case (Printf.sprintf "%s on %S" re s) `Quick
+        (check_match re s exp))
+    basic_cases
+  @ [
+      Alcotest.test_case "longest_match" `Quick test_longest_match;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      QCheck_alcotest.to_alcotest prop_dfa_equals_nfa;
+      QCheck_alcotest.to_alcotest prop_literal_roundtrip;
+    ]
