@@ -86,6 +86,47 @@ let cube ~m ~n ~p =
   Nd.init_float [| m; n; p |] (fun ix ->
       float_of_int ((7 * ix.(0)) + (3 * ix.(1)) + ix.(2)) /. 97.)
 
+(* --- telemetry capture ------------------------------------------------------- *)
+
+(* Machine-readable per-phase numbers for each claim group, exported to
+   BENCH_telemetry.json.  Each group runs one *representative* workload
+   with telemetry enabled, separate from the timed loops above, so the
+   instrumentation can never perturb the measurements. *)
+let telemetry_groups : (string * string) list ref = ref []
+
+let instrumented group f =
+  Support.Telemetry.reset ();
+  Support.Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Support.Telemetry.set_enabled false)
+    f;
+  telemetry_groups :=
+    (group, Support.Telemetry.to_json ()) :: !telemetry_groups;
+  (match Support.Telemetry.span_totals () with
+  | [] -> ()
+  | totals ->
+      let top = List.filteri (fun i _ -> i < 3) totals in
+      Fmt.pr "  [%s telemetry] %a@." group
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (n, calls, secs) ->
+              pf ppf "%s x%d %.1fms" n calls (secs *. 1000.)))
+        top);
+  Support.Telemetry.reset ()
+
+let write_bench_telemetry () =
+  let groups = List.rev !telemetry_groups in
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc "{\"groups\":{";
+  List.iteri
+    (fun i (name, json) ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc "%S:%s" name json)
+    groups;
+  output_string oc "}}\n";
+  close_out oc;
+  Fmt.pr "telemetry written to BENCH_telemetry.json (%d groups)@."
+    (List.length groups)
+
 (* --- C1: scaling of auto-parallelized with-loops ----------------------------------- *)
 
 let bench_scaling () =
@@ -114,7 +155,12 @@ let bench_scaling () =
       in
       if t = 1 then base := secs;
       Fmt.pr "  %8d %12.1f %9.2fx@." t (secs *. 1000.) (!base /. secs))
-    threads
+    threads;
+  instrumented "C1" (fun () ->
+      Runtime.Pool.with_pool 2 (fun pool ->
+          with_input data (fun dir ->
+              run_prog ~c:c_full ~dir ~pool ~auto_par:true
+                Eddy.Programs.fig1_temporal_mean)))
 
 (* --- C2: fusion vs library-style temp + copy ----------------------------------------- *)
 
@@ -140,7 +186,13 @@ let bench_fusion () =
         (library *. 1000.) (library /. fused))
     (* small p makes the library's result copy large relative to the
        fold work, which is where fusion matters *)
-    [ (64, 64, 2); (96, 96, 2); (64, 64, 16) ]
+    [ (64, 64, 2); (96, 96, 2); (64, 64, 16) ];
+  instrumented "C2" (fun () ->
+      let data = cube ~m:64 ~n:64 ~p:2 in
+      with_input data (fun dir ->
+          run_prog ~c:c_full ~dir ~fuse:true Eddy.Programs.fig1_temporal_mean;
+          run_prog ~c:c_full ~dir ~fuse:false
+            Eddy.Programs.fig1_temporal_mean))
 
 (* --- C3: slice-copy elimination -------------------------------------------------------- *)
 
@@ -165,7 +217,12 @@ let bench_slice_elim () =
       let t_no, a_no = measure ~optimize:false in
       Fmt.pr "  %4dx%4dx%3d %14.1f %14.1f %11d %11d@." m n p (t_opt *. 1000.)
         (t_no *. 1000.) a_opt a_no)
-    [ (16, 16, 16); (32, 32, 24) ]
+    [ (16, 16, 16); (32, 32, 24) ];
+  instrumented "C3" (fun () ->
+      let data = cube ~m:16 ~n:16 ~p:16 in
+      with_input data (fun dir ->
+          run_prog ~c:c_full ~dir ~optimize:true
+            Eddy.Programs.fig1_with_slice_copy))
 
 (* --- C4: transformation variants (§V) --------------------------------------------------- *)
 
@@ -206,7 +263,11 @@ let bench_transform_variants () =
               wall (fun () -> run_prog ~c:c_full ~dir src))
       in
       Fmt.pr "  %-32s %12.1f@." label (secs *. 1000.))
-    variants
+    variants;
+  instrumented "C4" (fun () ->
+      with_input data (fun dir ->
+          run_prog ~c:c_full ~dir
+            (Eddy.Programs.fig9_with_script "tile i, j by 8")))
 
 (* --- C5: enhanced fork-join vs naive spawn-per-region ------------------------------------ *)
 
@@ -236,7 +297,12 @@ let bench_forkjoin () =
       let p = pool_time t and n = naive_time t in
       Fmt.pr "  %8d %12.1f %22.1f %8.1fx@." t (p *. 1000.) (n *. 1000.)
         (n /. p))
-    [ 2; 4 ]
+    [ 2; 4 ];
+  instrumented "C5" (fun () ->
+      Runtime.Pool.with_pool 2 (fun pool ->
+          for _ = 1 to regions do
+            Runtime.Pool.parallel_for pool 0 work body
+          done))
 
 (* --- C6: refcounting overhead -------------------------------------------------------------- *)
 
@@ -271,7 +337,10 @@ let bench_refcount () =
             Staged.stage (fun () ->
                 Runtime.Rc.incr_ cell;
                 Runtime.Rc.decr_ cell));
-       ])
+       ]);
+  instrumented "C6" (fun () ->
+      with_input data (fun dir ->
+          run_prog ~c:c_full ~dir Eddy.Programs.fig1_temporal_mean))
 
 (* --- C7: composition cost and analyses (§VI) ------------------------------------------------ *)
 
@@ -321,7 +390,9 @@ let bench_composition () =
     "full compose (analyses + tables + scanner DFAs)"
     (t_compose_full *. 1000.) "-";
   Fmt.pr "  analyses verdicts: matrix/transform/refptr PASS; tuples FAILS \
-          (host-packaged) — see examples/extensibility_demo.@."
+          (host-packaged) — see examples/extensibility_demo.@.";
+  instrumented "C7" (fun () ->
+      ignore (Driver.compose Driver.all_extensions))
 
 (* --- runtime micro-kernels (context for the groups above) ------------------------------------ *)
 
@@ -372,4 +443,5 @@ let () =
   bench_forkjoin ();
   bench_refcount ();
   bench_scaling ();
+  write_bench_telemetry ();
   Fmt.pr "@.done.@."

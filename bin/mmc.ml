@@ -37,23 +37,65 @@ let compose_or_die exts =
 
 (* --- common options ---------------------------------------------------------- *)
 
+(* Both the help text and the default selection are derived from
+   [Driver.all_extensions], so a newly shipped extension (e.g. cilk) can
+   never be silently missing from either. *)
+let all_ext_names =
+  List.map (fun x -> x.Driver.x_name) Driver.all_extensions
+
 let exts_arg =
   let doc =
-    "Language extension to load (repeatable). Available: matrix, transform, \
-     refptr. Tuples are always present: they fail isComposable and ship \
-     with the host (§VI-A)."
+    Fmt.str
+      "Language extension to load (repeatable). Available: %s. Tuples are \
+       always present: they fail isComposable and ship with the host \
+       (§VI-A)."
+      (String.concat ", " all_ext_names)
   in
-  Arg.(value & opt_all string [ "matrix"; "transform"; "refptr" ]
+  Arg.(value & opt_all string all_ext_names
        & info [ "x"; "extension" ] ~docv:"EXT" ~doc)
 
 let src_arg =
   let doc = "Extended-C source file ('-' for stdin)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
+(* --- telemetry (--stats / --trace) ------------------------------------------- *)
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print a per-phase timing and pipeline-counter summary to \
+                 standard error when the command finishes.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file (load it in \
+                 chrome://tracing or https://ui.perfetto.dev) covering \
+                 compiler phases, runtime-pool activity and pipeline \
+                 counters.")
+
+let telemetry_term = Term.(const (fun s t -> (s, t)) $ stats_arg $ trace_arg)
+
+(* Enable telemetry iff requested, run the command body, then emit the
+   requested reports.  [Fun.protect] so a failing command still reports. *)
+let with_telemetry (stats, trace) k =
+  if stats || Option.is_some trace then begin
+    Support.Telemetry.reset ();
+    Support.Telemetry.set_enabled true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      if stats then Fmt.epr "%a@." Support.Telemetry.pp_summary ();
+      (try Option.iter Support.Telemetry.write_chrome_trace trace
+       with Sys_error m -> Fmt.epr "mmc: cannot write trace: %s@." m);
+      Support.Telemetry.set_enabled false)
+    k
+
 (* --- analyze ------------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run exts_names =
+  let run exts_names tele =
+    with_telemetry tele @@ fun () ->
     let exts = resolve_exts exts_names in
     let reports =
       List.map
@@ -76,12 +118,13 @@ let analyze_cmd =
     else 1
   in
   let doc = "Run the modular composability analyses (§VI) and compose." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ exts_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ exts_arg $ telemetry_term)
 
 (* --- check --------------------------------------------------------------------- *)
 
 let check_cmd =
-  let run exts_names file =
+  let run exts_names tele file =
+    with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
     match Driver.frontend c (read_source file) with
     | Driver.Ok_ _ ->
@@ -92,7 +135,8 @@ let check_cmd =
         1
   in
   let doc = "Parse and typecheck an extended-C program." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ exts_arg $ src_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ exts_arg $ telemetry_term $ src_arg)
 
 (* --- emit ---------------------------------------------------------------------- *)
 
@@ -105,7 +149,8 @@ let emit_cmd =
     Arg.(value & flag & info [ "auto-par" ]
          ~doc:"Auto-parallelize with-loops and matrixMap (§III-C).")
   in
-  let run exts_names no_fuse auto_par file =
+  let run exts_names no_fuse auto_par tele file =
+    with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
     match
       Driver.compile_to_c ~fuse:(not no_fuse) ~auto_par c (read_source file)
@@ -119,7 +164,7 @@ let emit_cmd =
   in
   let doc = "Translate extended C down to plain parallel C (§II)." in
   Cmd.v (Cmd.info "emit" ~doc)
-    Term.(const run $ exts_arg $ fuse $ auto_par $ src_arg)
+    Term.(const run $ exts_arg $ fuse $ auto_par $ telemetry_term $ src_arg)
 
 (* --- run ----------------------------------------------------------------------- *)
 
@@ -135,7 +180,8 @@ let run_cmd =
          & info [ "data-dir" ] ~docv:"DIR"
              ~doc:"Directory where readMatrix/writeMatrix resolve paths.")
   in
-  let run exts_names threads data_dir file =
+  let run exts_names threads data_dir tele file =
+    with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
     let dir =
       match data_dir with
@@ -167,7 +213,7 @@ let run_cmd =
   in
   let doc = "Translate and execute on the parallel matrix runtime." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ exts_arg $ threads $ data_dir $ src_arg)
+    Term.(const run $ exts_arg $ threads $ data_dir $ telemetry_term $ src_arg)
 
 (* ---------------------------------------------------------------------------------- *)
 

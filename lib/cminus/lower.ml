@@ -113,8 +113,24 @@ let consume_pending t (e : expr) =
       true
   | _ -> false
 
-let rc_dec t e = if t.rc then [ RcDec e ] else []
-let rc_inc t e = if t.rc then [ RcInc e ] else []
+(* Static RC traffic: how many retain/release operations the lowering
+   emits into the generated code (the §III-B/C bookkeeping cost). *)
+let c_rc_incs = Support.Telemetry.counter "lower.rc_incs"
+let c_rc_decs = Support.Telemetry.counter "lower.rc_decs"
+
+let rc_dec t e =
+  if t.rc then begin
+    Support.Telemetry.bump c_rc_decs;
+    [ RcDec e ]
+  end
+  else []
+
+let rc_inc t e =
+  if t.rc then begin
+    Support.Telemetry.bump c_rc_incs;
+    [ RcInc e ]
+  end
+  else []
 
 let drain_pending t =
   let rel = List.concat_map (fun v -> rc_dec t (Var v)) t.pending in

@@ -10,6 +10,7 @@
     parallel C → {emit C text | execute on the parallel runtime}. *)
 
 module Cfg = Grammar.Cfg
+module Tel = Support.Telemetry
 
 type extension = {
   x_name : string;
@@ -152,15 +153,18 @@ let effective_host : Cfg.t =
     (default) an extension failing an analysis aborts composition, which
     is the guarantee the paper's workflow gives the non-expert user. *)
 let compose ?(force = false) (selected : extension list) : composed =
+  Tel.with_span ~phase:"compose" "driver.compose" @@ fun () ->
   let det_reports =
-    List.map
-      (fun x -> Grammar.Determinism.check effective_host x.grammar)
-      selected
+    Tel.with_span ~phase:"compose" "compose.determinism" (fun () ->
+        List.map
+          (fun x -> Grammar.Determinism.check effective_host x.grammar)
+          selected)
   in
   let ag_reports =
-    List.map
-      (fun x -> Ag.Wellformed.check ~host:host_ag_spec x.ag_spec)
-      selected
+    Tel.with_span ~phase:"compose" "compose.wellformed" (fun () ->
+        List.map
+          (fun x -> Ag.Wellformed.check ~host:host_ag_spec x.ag_spec)
+          selected)
   in
   if not force then begin
     List.iter
@@ -177,7 +181,16 @@ let compose ?(force = false) (selected : extension list) : composed =
       ag_reports
   end;
   let cfg = Cfg.compose effective_host (List.map (fun x -> x.grammar) selected) in
-  let table = Grammar.Lalr.build cfg in
+  let table =
+    Tel.with_span ~phase:"compose" "compose.lalr" (fun () ->
+        Grammar.Lalr.build cfg)
+  in
+  Tel.set_gauge "compose.extensions" (float_of_int (List.length selected));
+  Tel.set_gauge "grammar.productions"
+    (float_of_int (List.length cfg.Cfg.productions));
+  Tel.set_gauge "lalr.states" (float_of_int table.Grammar.Lalr.n_states);
+  Tel.set_gauge "lalr.conflicts"
+    (float_of_int (List.length table.Grammar.Lalr.conflicts));
   if not (Grammar.Lalr.is_lalr1 table) then
     raise
       (Compose_failed
@@ -186,10 +199,14 @@ let compose ?(force = false) (selected : extension list) : composed =
             table.Grammar.Lalr.conflicts));
   Ext_tuples.Tuples_ext.register ();
   List.iter (fun x -> x.register ()) selected;
+  let parser_ =
+    Tel.with_span ~phase:"compose" "compose.scanner" (fun () ->
+        Parser.Driver.create table)
+  in
   {
     selected;
     table;
-    parser_ = Parser.Driver.create table;
+    parser_;
     determinism_reports = det_reports;
     ag_reports;
     rc = List.exists (fun x -> x.enables_rc) selected;
@@ -204,33 +221,41 @@ type 'a outcome = Ok_ of 'a | Failed of Support.Diag.t list
     or diagnostics. *)
 let frontend ?(optimize = true) (c : composed) (src : string) :
     Cminus.Ast.program outcome =
-  match Parser.Driver.parse c.parser_ src with
+  match
+    Tel.with_span ~phase:"parse" "frontend.parse" (fun () ->
+        Parser.Driver.parse c.parser_ src)
+  with
   | Error e -> Failed [ Parser.Driver.error_to_diag e ]
   | Ok tree -> (
-      match Cminus.Build.program tree with
+      match
+        Tel.with_span ~phase:"parse" "frontend.build" (fun () ->
+            Cminus.Build.program tree)
+      with
       | exception Cminus.Build.Build_error (m, span) ->
           Failed [ Support.Diag.error ~phase:"build" ~span "%s" m ]
       | ast ->
           let ast =
             if optimize then
-              List.fold_left (fun a x -> x.optimize a) ast c.selected
+              Tel.with_span ~phase:"check" "frontend.optimize" (fun () ->
+                  List.fold_left (fun a x -> x.optimize a) ast c.selected)
             else ast
           in
           let diags =
-            Cminus.Check.check_program
-              (List.map (fun x -> x.check_hooks) c.selected)
-              ast
+            Tel.with_span ~phase:"check" "frontend.check" (fun () ->
+                Cminus.Check.check_program
+                  (List.map (fun x -> x.check_hooks) c.selected)
+                  ast)
           in
           if Support.Diag.has_errors diags then Failed diags else Ok_ ast)
 
 (** [lower c ast] — translate to the plain-C IR. *)
 let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
     (c : composed) (ast : Cminus.Ast.program) : Cir.Ir.program outcome =
-  ignore copy_elim;
   match
-    Cminus.Lower.lower_program ~fuse ~auto_par
-      (List.map (fun x -> x.lower_hooks) c.selected)
-      ~rc:c.rc ast
+    Tel.with_span ~phase:"lower" "driver.lower" (fun () ->
+        Cminus.Lower.lower_program ~fuse ~copy_elim ~auto_par
+          (List.map (fun x -> x.lower_hooks) c.selected)
+          ~rc:c.rc ast)
   with
   | prog -> Ok_ prog
   | exception Cminus.Lower.Lower_error (m, span) ->
@@ -238,28 +263,34 @@ let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
 
 (** [compile_to_c c src] — the paper's headline artifact: extended C in,
     plain parallel C out. *)
-let compile_to_c ?fuse ?auto_par (c : composed) (src : string) :
+let compile_to_c ?fuse ?copy_elim ?auto_par (c : composed) (src : string) :
     string outcome =
   match frontend c src with
   | Failed d -> Failed d
   | Ok_ ast -> (
-      match lower ?fuse ?auto_par c ast with
+      match lower ?fuse ?copy_elim ?auto_par c ast with
       | Failed d -> Failed d
-      | Ok_ prog -> Ok_ (Cir.Emit.program prog))
+      | Ok_ prog ->
+          Ok_
+            (Tel.with_span ~phase:"emit" "driver.emit" (fun () ->
+                 Cir.Emit.program prog)))
 
 (** [run c src args] — compile and execute on the parallel runtime.
     [pool] supplies the enhanced fork-join worker pool; [dir] hosts the
     program's matrix files. *)
-let run ?fuse ?auto_par ?pool ?dir ?(optimize = true) (c : composed)
-    (src : string) (args : Interp.Eval.value list) :
+let run ?fuse ?copy_elim ?auto_par ?pool ?dir ?(optimize = true)
+    (c : composed) (src : string) (args : Interp.Eval.value list) :
     Interp.Eval.value outcome =
   match frontend ~optimize c src with
   | Failed d -> Failed d
   | Ok_ ast -> (
-      match lower ?fuse ?auto_par c ast with
+      match lower ?fuse ?copy_elim ?auto_par c ast with
       | Failed d -> Failed d
       | Ok_ prog -> (
-          match Interp.Eval.run ?pool ?dir prog args with
+          match
+            Tel.with_span ~phase:"run" "driver.run" (fun () ->
+                Interp.Eval.run ?pool ?dir prog args)
+          with
           | v -> Ok_ v
           | exception Interp.Eval.Interp_error m ->
               Failed

@@ -19,6 +19,15 @@ open Cir.Ir
 
 let span_err = L.err
 
+(* §III-A5 optimization effectiveness, observable via --stats/--trace:
+   with-loops whose result fed its consumer directly (fused) vs. ones that
+   paid the library-style copy, slices that allocated a copy vs. identity
+   slices aliased away by copy elimination. *)
+let c_fused = Support.Telemetry.counter "lower.with_loops_fused"
+let c_library_copies = Support.Telemetry.counter "lower.library_copies"
+let c_slice_copies = Support.Telemetry.counter "lower.slice_copies"
+let c_identity_slices = Support.Telemetry.counter "lower.identity_slices_aliased"
+
 (* Current subscript context for [end]: (matrix handle, dimension). *)
 let index_ctx : (expr * int) option ref = ref None
 
@@ -336,7 +345,20 @@ let h_subscript t (base : A.expr) (indices : A.index list) (rty : T.ty) span :
         let idxs = List.map (function SAt e -> e | _ -> assert false) specs in
         let off = flat_offset (dims_of vb rank) idxs in
         Some (sb @ si, MGetFlat (Var vb, off))
+      else if
+        t.L.copy_elim
+        && List.for_all (function SAll -> true | _ -> false) specs
+      then begin
+        (* Identity slice m[:, …, :]: §III-A5 copy elimination — alias the
+           source (retaining it) instead of allocating and copying every
+           element.  Sound because subscript reads never mutate, and the
+           alias carries its own reference. *)
+        Support.Telemetry.bump c_identity_slices;
+        L.add_pending t vb;
+        Some (sb @ si @ L.rc_inc t (Var vb), Var vb)
+      end
       else begin
+        Support.Telemetry.bump c_slice_copies;
         (* General slice: allocate and copy the selected region. *)
         let out_elem, _out_rank = mat_of_ty span rty in
         let kept_dims =
@@ -566,10 +588,12 @@ let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
           :: nest)
       in
       if t.L.fuse_with_loops then begin
+        Support.Telemetry.bump c_fused;
         L.add_pending t r;
         (stmts, Var r)
       end
       else begin
+        Support.Telemetry.bump c_library_copies;
         (* Library-style baseline (§III-A5): "a library implementation
            would likely evaluate the result of the with-loops into a
            temporary variable which is then copied" — materialise that

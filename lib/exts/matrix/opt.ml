@@ -22,6 +22,10 @@
 
 module A = Cminus.Ast
 
+(* One bump per slice-copy declaration removed by this pass. *)
+let c_slices_eliminated =
+  Support.Telemetry.counter "opt.slice_copies_eliminated"
+
 (* Count uses of identifier [name] in an expression (conservatively walks
    the matrix extension's own nodes; unknown foreign nodes count as a use
    so we never drop a declaration we cannot see into). *)
@@ -254,7 +258,10 @@ let rec optimize_block (stmts : A.stmt list) : A.stmt list =
             (* then try to eliminate the copied slice from the folds *)
             let changed = ref false in
             let rest' = rewrite_block sname base ixs rest changed in
-            if !changed && uses_in_block sname rest' = 0 then go rest'
+            if !changed && uses_in_block sname rest' = 0 then begin
+              Support.Telemetry.bump c_slices_eliminated;
+              go rest'
+            end
             else decl :: go rest
         | _ -> decl :: go rest)
     | s :: rest -> s :: go rest

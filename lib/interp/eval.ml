@@ -24,6 +24,13 @@ exception Interp_error of string
 
 let err fmt = Format.kasprintf (fun m -> raise (Interp_error m)) fmt
 
+(* Interpreter telemetry: how much work the lowered program actually did
+   (allocation traffic, parallel regions, call volume, element stores). *)
+let c_mat_allocs = Support.Telemetry.counter "interp.mat_allocs"
+let c_parfor = Support.Telemetry.counter "interp.parfor_regions"
+let c_calls = Support.Telemetry.counter "interp.calls"
+let c_stores = Support.Telemetry.counter "interp.elem_stores"
+
 let rec pp_value ppf = function
   | VUnit -> Fmt.string ppf "void"
   | VNull -> Fmt.string ppf "NULL"
@@ -161,6 +168,7 @@ let rec eval (ctx : ctx) (env : env) (e : expr) : value =
       let sh = Array.of_list (List.map (fun d -> int_of (eval ctx env d)) dims) in
       Array.iter (fun d -> if d < 0 then err "negative matrix extent %d" d) sh;
       let m = Nd.create el sh in
+      Support.Telemetry.bump c_mat_allocs;
       VMat (Runtime.Rc.alloc ~bytes:(Nd.size m * 4) m)
   | MGetFlat (me, off) ->
       let m = mat (eval ctx env me) in
@@ -177,6 +185,7 @@ let rec eval (ctx : ctx) (env : env) (e : expr) : value =
       match pe with
       | Str p ->
           let m = Nd.read_file (resolve_path ctx p) in
+          Support.Telemetry.bump c_mat_allocs;
           VMat (Runtime.Rc.alloc ~bytes:(Nd.size m * 4) m)
       | _ -> err "readMatrix requires a literal path")
   | VecSplat a ->
@@ -239,7 +248,10 @@ and exec (ctx : ctx) (env : env) (s : stmt) : unit =
       if o < 0 || o >= Nd.size m then
         err "flat offset %d out of bounds for %s" o
           (Runtime.Shape.to_string (Nd.shape m))
-      else Nd.set_flat m o (scal (eval ctx env ve))
+      else begin
+        Support.Telemetry.bump c_stores;
+        Nd.set_flat m o (scal (eval ctx env ve))
+      end
   | VecScatter (me, base, stride, ve) ->
       let m = mat (eval ctx env me) in
       let b = int_of (eval ctx env base) in
@@ -270,6 +282,7 @@ and exec (ctx : ctx) (env : env) (s : stmt) : unit =
         done
       with Break_exc -> ())
   | ParFor l -> (
+      Support.Telemetry.bump c_parfor;
       let bound = int_of (eval ctx env l.bound) in
       match ctx.pool with
       | None ->
@@ -345,6 +358,7 @@ and exec_block ctx env stmts =
   List.iter (exec ctx scope) stmts
 
 and call ctx (f : func) (args : value list) : value =
+  Support.Telemetry.bump c_calls;
   if List.length args <> List.length f.f_params then
     err "%s expects %d arguments, got %d" f.f_name (List.length f.f_params)
       (List.length args);

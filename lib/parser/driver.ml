@@ -30,6 +30,9 @@ let error_to_diag (e : error) =
 
 type t = { table : L.t; scanner : Lexer.Scanner.t }
 
+(* One bump per token the context-aware scanner hands the parser. *)
+let c_tokens = Support.Telemetry.counter "scan.tokens"
+
 (** [create table] prepares a parser (compiling all terminal DFAs once).
     The same [t] is reused for every file compiled under a given
     host ∪ extensions selection. *)
@@ -57,6 +60,7 @@ let parse (t : t) (src : string) : (Tree.t, error) Result.t =
         let valid = table.L.valid_terms.(state ()) in
         match Lexer.Scanner.next t.scanner src !pos ~valid with
         | Lexer.Scanner.Tok tok ->
+            Support.Telemetry.bump c_tokens;
             pos := tok.Lexer.Token.span.Support.Pos.right;
             lookahead := Some tok;
             Ok tok

@@ -21,6 +21,11 @@ type t = { shape : Shape.t; buf : buf }
 exception Type_error of string
 
 let terr fmt = Format.kasprintf (fun m -> raise (Type_error m)) fmt
+
+(* Kernel-invocation telemetry: one gated atomic bump per whole-matrix
+   kernel call (not per element). *)
+let c_elementwise = Support.Telemetry.counter "kernel.elementwise"
+let c_matmul = Support.Telemetry.counter "kernel.matmul"
 let shape m = m.shape
 let rank m = Shape.rank m.shape
 let size m = Shape.size m.shape
@@ -126,6 +131,7 @@ let same_elem a b =
     elementwise except linear-algebra [*] (see {!matmul}). Checks equal
     type and rank/shape, as the extended type system does. *)
 let arith op a b =
+  Support.Telemetry.bump c_elementwise;
   same_elem a b;
   let sh = Shape.broadcast_eq a.shape b.shape in
   match (a.buf, b.buf) with
@@ -145,6 +151,7 @@ let arith op a b =
 
 (** Matrix–scalar arithmetic, in either argument order (§III-A2). *)
 let arith_scalar op (m : t) (s : Scalar.t) ~scalar_left : t =
+  Support.Telemetry.bump c_elementwise;
   let app a b = if scalar_left then Scalar.arith op b a else Scalar.arith op a b in
   match m.buf with
   | F x ->
@@ -170,6 +177,7 @@ let arith_scalar op (m : t) (s : Scalar.t) ~scalar_left : t =
 (** Elementwise comparison producing a boolean matrix (drives logical
     indexing, e.g. [ssh < i] in Fig 4). *)
 let cmp op a b =
+  Support.Telemetry.bump c_elementwise;
   let sh = Shape.broadcast_eq a.shape b.shape in
   let n = Shape.size sh in
   let r =
@@ -214,6 +222,7 @@ let neg m =
     matrices; elementwise multiplication is the distinct [.*] operator
     (§III-A2). 2-D only, inner dimensions must agree. *)
 let matmul a b =
+  Support.Telemetry.bump c_matmul;
   same_elem a b;
   if rank a <> 2 || rank b <> 2 then
     Shape.err "matrix multiplication requires rank 2, got %s and %s"

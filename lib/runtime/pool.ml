@@ -26,33 +26,77 @@ type t = {
   job : job option Atomic.t;
   done_count : int Atomic.t;
   shutdown : bool Atomic.t;
+  failure : exn option Atomic.t;
+      (** first exception raised by any thread's share of the current job;
+          re-raised on the main thread at the stop barrier *)
+  busy : Support.Telemetry.counter array;
+      (** per-thread busy nanoseconds (slot 0 = main thread's share) *)
   mutable domains : unit Domain.t array;
 }
 
+(* Pool telemetry (§III-C observability).  Every probe is behind the
+   telemetry enabled flag, so the disabled hot path pays one atomic load
+   per region/wakeup — nothing per spin iteration. *)
+let c_jobs = Support.Telemetry.counter "pool.jobs_dispatched"
+let c_spin_wakeups = Support.Telemetry.counter "pool.wakeups_spin"
+let c_sleep_wakeups = Support.Telemetry.counter "pool.wakeups_sleep"
+let c_barrier_ns = Support.Telemetry.counter "pool.barrier_wait_ns"
+let c_exceptions = Support.Telemetry.counter "pool.job_exceptions"
+
 (* Spin with progressive back-off: pure spinning briefly (the fast path the
    enhanced fork-join model is built for), then yield to the OS so
-   oversubscribed machines still progress. *)
+   oversubscribed machines still progress.  Returns whether the wait ever
+   fell back to sleeping, so wakeups can be classified spin-vs-sleep. *)
 let spin_until pred =
   let spins = ref 0 in
+  let slept = ref false in
   while not (pred ()) do
     incr spins;
     if !spins < 1000 then Domain.cpu_relax ()
-    else Unix.sleepf 0.000_05
-  done
+    else begin
+      slept := true;
+      Unix.sleepf 0.000_05
+    end
+  done;
+  !slept
+
+(* Execute one thread's share of a job.  The first exception is captured
+   (not swallowed) and re-raised on the main thread at the stop barrier;
+   when telemetry is on, the share's wall-clock goes to the thread's busy
+   counter. *)
+let run_share pool idx fn =
+  let n = pool.n_workers + 1 in
+  let exec () =
+    try fn idx n
+    with e ->
+      Support.Telemetry.bump c_exceptions;
+      ignore (Atomic.compare_and_set pool.failure None (Some e))
+  in
+  if Support.Telemetry.on () then begin
+    let t0 = Unix.gettimeofday () in
+    exec ();
+    Support.Telemetry.add pool.busy.(idx)
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+  end
+  else exec ()
 
 let worker_loop pool idx () =
   let my_gen = ref 0 in
   let running = ref true in
   while !running do
-    spin_until (fun () ->
-        Atomic.get pool.shutdown || Atomic.get pool.generation <> !my_gen);
+    let slept =
+      spin_until (fun () ->
+          Atomic.get pool.shutdown || Atomic.get pool.generation <> !my_gen)
+    in
     if Atomic.get pool.shutdown then running := false
     else begin
       my_gen := Atomic.get pool.generation;
+      if Support.Telemetry.on () then
+        Support.Telemetry.bump
+          (if slept then c_sleep_wakeups else c_spin_wakeups);
       (match Atomic.get pool.job with
-      | Some { fn } -> (
-          (* Worker indices 1..n; index 0 is the main thread's share. *)
-          try fn idx (pool.n_workers + 1) with _ -> ())
+      (* Worker indices 1..n; index 0 is the main thread's share. *)
+      | Some { fn } -> run_share pool idx fn
       | None -> ());
       Atomic.incr pool.done_count
     end
@@ -70,6 +114,10 @@ let create n =
       job = Atomic.make None;
       done_count = Atomic.make 0;
       shutdown = Atomic.make false;
+      failure = Atomic.make None;
+      busy =
+        Array.init n (fun i ->
+            Support.Telemetry.counter (Printf.sprintf "pool.worker%d.busy_ns" i));
       domains = [||];
     }
   in
@@ -80,18 +128,37 @@ let create n =
 let threads pool = pool.n_workers + 1
 
 (** [run pool f] — one parallel region: every thread [t] of [n] executes
-    [f t n]; returns when all have passed the stop barrier. *)
+    [f t n]; returns when all have passed the stop barrier.  If any share
+    raised, the first exception is re-raised here (after every worker has
+    parked again, so the pool stays usable). *)
 let run pool (fn : int -> int -> unit) =
-  if pool.n_workers = 0 then fn 0 1
+  if pool.n_workers = 0 then begin
+    Support.Telemetry.bump c_jobs;
+    fn 0 1
+  end
   else begin
     Atomic.set pool.done_count 0;
     Atomic.set pool.job (Some { fn });
     Atomic.incr pool.generation;
     (* release *)
-    fn 0 (pool.n_workers + 1);
+    Support.Telemetry.bump c_jobs;
+    run_share pool 0 fn;
     (* main thread's share *)
-    spin_until (fun () -> Atomic.get pool.done_count = pool.n_workers)
-    (* stop barrier *)
+    let wait () =
+      ignore
+        (spin_until (fun () -> Atomic.get pool.done_count = pool.n_workers))
+      (* stop barrier *)
+    in
+    if Support.Telemetry.on () then begin
+      let t0 = Unix.gettimeofday () in
+      wait ();
+      Support.Telemetry.add c_barrier_ns
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+    end
+    else wait ();
+    match Atomic.exchange pool.failure None with
+    | Some e -> raise e
+    | None -> ()
   end
 
 (** [parallel_for pool lo hi f] — apply [f] to every index in [lo, hi)

@@ -32,8 +32,16 @@ let with_registry f =
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
+(* Telemetry counters for the §III-B/C memory-management traffic; each is
+   one gated atomic bump on top of the registry work. *)
+let c_allocs = Support.Telemetry.counter "rc.allocs"
+let c_frees = Support.Telemetry.counter "rc.frees"
+let c_incrs = Support.Telemetry.counter "rc.incrs"
+let c_decrs = Support.Telemetry.counter "rc.decrs"
+
 (** [alloc ~bytes payload] — a fresh cell with count 1, registered live. *)
 let alloc ?(bytes = 0) payload =
+  Support.Telemetry.bump c_allocs;
   with_registry (fun () ->
       let id = !next_id in
       incr next_id;
@@ -50,6 +58,7 @@ let get cell =
 (** [incr_ cell] — a new reference now exists (assignment RHS, argument
     passing, storing into a structure). *)
 let incr_ cell =
+  Support.Telemetry.bump c_incrs;
   with_registry (fun () ->
       if cell.payload = None then raise (Use_after_free cell.id);
       cell.count <- cell.count + 1)
@@ -57,12 +66,14 @@ let incr_ cell =
 (** [decr_ cell] — a reference died (scope exit, overwriting assignment).
     Frees the payload when the count reaches zero. *)
 let decr_ cell =
+  Support.Telemetry.bump c_decrs;
   with_registry (fun () ->
       if cell.count <= 0 then raise (Double_free cell.id);
       cell.count <- cell.count - 1;
       if cell.count = 0 then begin
         cell.payload <- None;
         incr total_frees;
+        Support.Telemetry.bump c_frees;
         Hashtbl.remove live cell.id
       end)
 

@@ -10,4 +10,5 @@ let () =
       ("eddy", Test_eddy.suite);
       ("cilk", Test_cilk.suite);
       ("programs", Test_programs.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
