@@ -16,6 +16,11 @@ let read_source = function
   | "-" -> In_channel.input_all In_channel.stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
+(* Fatal CLI errors raise (rather than [exit], which would not unwind)
+   so [with_telemetry]'s finalizer still reports --stats/--trace; the
+   exception is turned back into the exit code inside the term body. *)
+exception Fatal of int
+
 let resolve_exts names =
   List.map
     (fun n ->
@@ -25,7 +30,7 @@ let resolve_exts names =
           Fmt.epr "unknown extension %S (available: %s)@." n
             (String.concat ", "
                (List.map (fun x -> x.Driver.x_name) Driver.all_extensions));
-          exit 2)
+          raise (Fatal 2))
     names
 
 let compose_or_die exts =
@@ -33,7 +38,7 @@ let compose_or_die exts =
   | c -> c
   | exception Driver.Compose_failed msg ->
       Fmt.epr "composition failed:@.%s@." msg;
-      exit 2
+      raise (Fatal 2)
 
 (* --- common options ---------------------------------------------------------- *)
 
@@ -89,7 +94,7 @@ let with_telemetry (stats, trace) k =
       (try Option.iter Support.Telemetry.write_chrome_trace trace
        with Sys_error m -> Fmt.epr "mmc: cannot write trace: %s@." m);
       Support.Telemetry.set_enabled false)
-    k
+    (fun () -> try k () with Fatal code -> code)
 
 (* --- analyze ------------------------------------------------------------------- *)
 

@@ -48,6 +48,11 @@ type t = {
       (** functions synthesised by lowerings — e.g. matrixMap bodies are
           "lifted out into a new function so that the spawned threads can
           get direct access" (§III-A5) *)
+  mutable cur_body : Ast.stmt list;
+      (** the (checked) body of the function currently being lowered —
+          whole-function context for extension lowerings whose validity
+          depends on later statements (e.g. the matrix extension's
+          alias-safety analysis for slice-copy elimination) *)
 }
 
 (** One extension's lowering contribution; [None] declines. *)
@@ -511,6 +516,7 @@ and lower_assign t span (lhs : Ast.expr) (rhs : Ast.expr) : stmt list =
 let lower_fundef t (f : Ast.fundef) : func =
   t.scopes <- [];
   t.pending <- [];
+  t.cur_body <- f.Ast.body;
   push_scope t;
   t.params <-
     List.filter_map
@@ -553,6 +559,7 @@ let lower_program ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
       copy_elim;
       auto_par;
       extra_funcs = [];
+      cur_body = [];
     }
   in
   List.iter

@@ -333,6 +333,224 @@ let spec_extent base d = function
   | SGather g -> MSize (Var g)
   | SAt _ -> invalid_arg "spec_extent"
 
+(* --- alias safety for identity-slice copy elimination (§III-A5) --------------
+
+   `m[:, …, :]` may be lowered to a retained alias of `m` only when that is
+   observationally equal to the copy: no write to the shared buffer while
+   both handles are live.  Mirroring the conservatism of the AST-level pass
+   in Opt (which only drops a copy after a use-count analysis), we require,
+   over the whole current function body:
+
+   - the slice is the direct initialiser of a matrix variable
+     (`Matrix b = m[:, :];` or `b = m[:, :];`) — any other context
+     (call argument, return value, operand) gets a copy, so the alias can
+     never escape the function;
+   - no handle sharing a buffer with the base or the destination is ever
+     buffer-written: subscript-assigned, whole-matrix scalar-filled,
+     passed to a function (the callee may mutate a borrowed parameter),
+     handed to matrixMap (the lifted per-slice function gets direct
+     access), stored in a tuple (writes through the tuple are untracked),
+     or returned (the buffer would escape to the caller).  Buffer sharing
+     is closed over plain handle copies (`Matrix c = b;`) and other
+     identity slices;
+   - the function contains no foreign extension nodes we cannot see into
+     (a transform or cilk statement could mutate any matrix).
+
+   Anything else falls back to the allocating copy — the seed semantics. *)
+
+exception Opaque
+(* foreign extension node: give up on aliasing for this function *)
+
+let is_mat_ident (e : A.expr) =
+  match (e.A.e, e.A.ety) with
+  | A.Ident v, Some ty when L.contains_mat ty -> Some v
+  | _ -> None
+
+(* Builtins that read their matrix argument but never write its buffer. *)
+let readonly_call = function
+  | "dimSize" | "writeMatrix" -> true
+  | _ -> false
+
+let is_identity_slice ixs =
+  ixs <> [] && List.for_all (function A.IAll _ -> true | _ -> false) ixs
+
+(* One scan of the function body collecting (a) names whose buffer may be
+   written or may escape ("seeds") and (b) pairs of names that may share a
+   buffer ("edges"). *)
+let scan_body body =
+  let seeds = ref [] and edges = ref [] in
+  let seed v = seeds := v :: !seeds in
+  let mat_seed e = Option.iter seed (is_mat_ident e) in
+  let rec expr (e : A.expr) =
+    match e.A.e with
+    | A.Ident _ | A.IntLit _ | A.FloatLit _ | A.BoolLit _ | A.StrLit _ -> ()
+    | A.Bin (_, a, b) ->
+        expr a;
+        expr b
+    | A.Un (_, a) | A.Cast (_, a) -> expr a
+    | A.CallE (f, args) ->
+        List.iter
+          (fun a ->
+            expr a;
+            if not (readonly_call f) then mat_seed a)
+          args
+    | A.TupleLit es ->
+        (* matrices stored in a tuple can be written through it later *)
+        List.iter
+          (fun x ->
+            expr x;
+            mat_seed x)
+          es
+    | A.Subscript (b, ixs) ->
+        expr b;
+        List.iter (function A.IExpr x -> expr x | A.IAll _ -> ()) ixs
+    | A.ExtE (Nodes.EWith (gen, op)) -> (
+        List.iter expr (gen.Nodes.lo @ gen.Nodes.hi);
+        match op with
+        | Nodes.OGenarray (shape, b) ->
+            List.iter expr shape;
+            expr b
+        | Nodes.OFold (_, base, b) ->
+            expr base;
+            expr b)
+    | A.ExtE (Nodes.EMatrixMap (_, m, _)) ->
+        expr m;
+        mat_seed m
+    | A.ExtE (Nodes.EInit (_, dims)) -> List.iter expr dims
+    | A.ExtE Nodes.EEnd -> ()
+    | A.ExtE _ -> raise Opaque
+  in
+  (* [bind name rhs] — a handle named [name] now holds [rhs]'s value:
+     record the buffer-sharing edge when the rhs is a plain handle copy or
+     an identity slice. *)
+  let bind name (rhs : A.expr) =
+    match rhs.A.e with
+    | A.Ident v when Option.is_some (is_mat_ident rhs) ->
+        edges := (name, v) :: !edges
+    | A.Subscript (b, ixs) when is_identity_slice ixs ->
+        Option.iter (fun v -> edges := (name, v) :: !edges) (is_mat_ident b)
+    | _ -> ()
+  in
+  (* Matrix idents whose buffer transfers to the caller through a returned
+     value (mirrors the host lowering's [transfer_vars]): a returned name
+     or tuple of names; any other expression returns a fresh buffer. *)
+  let rec escaping (e : A.expr) =
+    match e.A.e with
+    | A.Ident _ -> mat_seed e
+    | A.TupleLit es -> List.iter escaping es
+    | _ -> ()
+  in
+  let rec stmt (st : A.stmt) =
+    match st.A.s with
+    | A.DeclS (_, name, init) ->
+        Option.iter
+          (fun i ->
+            expr i;
+            bind name i)
+          init
+    | A.AssignS (lhs, rhs) -> (
+        expr rhs;
+        match lhs.A.e with
+        | A.Ident v -> (
+            bind v rhs;
+            (* whole-matrix scalar fill writes the buffer in place;
+               rebinding a handle does not *)
+            match (lhs.A.ety, rhs.A.ety) with
+            | Some (T.TMat _), Some ty when T.is_scalar ty -> seed v
+            | _ -> ())
+        | A.Subscript (b, ixs) -> (
+            List.iter (function A.IExpr x -> expr x | A.IAll _ -> ()) ixs;
+            match is_mat_ident b with
+            | Some v -> seed v
+            | None -> raise Opaque (* write through an unnamed handle *))
+        | A.TupleLit parts ->
+            (* destructuring rebinds the targets to untracked handles *)
+            List.iter (fun (p : A.expr) -> mat_seed p) parts
+        | _ -> raise Opaque)
+    | A.IfS (c, a, b) ->
+        expr c;
+        List.iter stmt a;
+        List.iter stmt b
+    | A.WhileS (c, b) ->
+        expr c;
+        List.iter stmt b
+    | A.ForS (i, c, s, b) ->
+        Option.iter stmt i;
+        Option.iter expr c;
+        Option.iter stmt s;
+        List.iter stmt b
+    | A.ReturnS e -> Option.iter escaping e
+    | A.BreakS | A.ContinueS -> ()
+    | A.ExprStmt e -> expr e
+    | A.BlockS b -> List.iter stmt b
+    | A.ExtS _ -> raise Opaque
+  in
+  List.iter stmt body;
+  (!seeds, !edges)
+
+(* Close the written/escaping set over may-share-a-buffer edges (both
+   directions: a write to either end is visible through the other). *)
+let closure seeds edges =
+  let w = ref (List.sort_uniq compare seeds) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (a, b) ->
+        let ha = List.mem a !w and hb = List.mem b !w in
+        if ha && not hb then begin
+          w := b :: !w;
+          changed := true
+        end
+        else if hb && not ha then begin
+          w := a :: !w;
+          changed := true
+        end)
+      edges
+  done;
+  !w
+
+(* The variables to which THIS subscript occurrence (identified physically,
+   base and index list) is directly bound; [] in any other context. *)
+let slice_dests body base indices =
+  let dests = ref [] in
+  let rhs_matches (e : A.expr) =
+    match e.A.e with
+    | A.Subscript (b, ixs) -> b == base && ixs == indices
+    | _ -> false
+  in
+  let rec stmt (st : A.stmt) =
+    match st.A.s with
+    | A.DeclS (_, name, Some i) when rhs_matches i -> dests := name :: !dests
+    | A.AssignS ({ A.e = A.Ident name; _ }, r) when rhs_matches r ->
+        dests := name :: !dests
+    | A.IfS (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | A.WhileS (_, b) | A.BlockS b -> List.iter stmt b
+    | A.ForS (i, _, s, b) ->
+        Option.iter stmt i;
+        Option.iter stmt s;
+        List.iter stmt b
+    | _ -> ()
+  in
+  List.iter stmt body;
+  !dests
+
+let alias_safe t (base : A.expr) (indices : A.index list) =
+  match (is_mat_ident base, t.L.cur_body) with
+  | None, _ | _, [] -> false
+  | Some a, body -> (
+      match slice_dests body base indices with
+      | [] -> false
+      | dests -> (
+          match scan_body body with
+          | seeds, edges ->
+              let written = closure seeds edges in
+              (not (List.mem a written))
+              && List.for_all (fun d -> not (List.mem d written)) dests
+          | exception Opaque -> false))
+
 let h_subscript t (base : A.expr) (indices : A.index list) (rty : T.ty) span :
     (stmt list * expr) option =
   match ety base with
@@ -348,11 +566,13 @@ let h_subscript t (base : A.expr) (indices : A.index list) (rty : T.ty) span :
       else if
         t.L.copy_elim
         && List.for_all (function SAll -> true | _ -> false) specs
+        && alias_safe t base indices
       then begin
         (* Identity slice m[:, …, :]: §III-A5 copy elimination — alias the
            source (retaining it) instead of allocating and copying every
-           element.  Sound because subscript reads never mutate, and the
-           alias carries its own reference. *)
+           element.  [alias_safe] proved neither the base nor the alias is
+           buffer-written or escapes while both are live, so the alias is
+           observationally the copy. *)
         Support.Telemetry.bump c_identity_slices;
         L.add_pending t vb;
         Some (sb @ si @ L.rc_inc t (Var vb), Var vb)

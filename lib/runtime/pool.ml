@@ -26,9 +26,10 @@ type t = {
   job : job option Atomic.t;
   done_count : int Atomic.t;
   shutdown : bool Atomic.t;
-  failure : exn option Atomic.t;
-      (** first exception raised by any thread's share of the current job;
-          re-raised on the main thread at the stop barrier *)
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+      (** first exception raised by any thread's share of the current job,
+          with the raising thread's backtrace; re-raised on the main
+          thread at the stop barrier *)
   busy : Support.Telemetry.counter array;
       (** per-thread busy nanoseconds (slot 0 = main thread's share) *)
   mutable domains : unit Domain.t array;
@@ -69,14 +70,14 @@ let run_share pool idx fn =
   let exec () =
     try fn idx n
     with e ->
+      let bt = Printexc.get_raw_backtrace () in
       Support.Telemetry.bump c_exceptions;
-      ignore (Atomic.compare_and_set pool.failure None (Some e))
+      ignore (Atomic.compare_and_set pool.failure None (Some (e, bt)))
   in
   if Support.Telemetry.on () then begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Support.Telemetry.now_ns () in
     exec ();
-    Support.Telemetry.add pool.busy.(idx)
-      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+    Support.Telemetry.add pool.busy.(idx) (Support.Telemetry.now_ns () - t0)
   end
   else exec ()
 
@@ -150,14 +151,13 @@ let run pool (fn : int -> int -> unit) =
       (* stop barrier *)
     in
     if Support.Telemetry.on () then begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = Support.Telemetry.now_ns () in
       wait ();
-      Support.Telemetry.add c_barrier_ns
-        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+      Support.Telemetry.add c_barrier_ns (Support.Telemetry.now_ns () - t0)
     end
     else wait ();
     match Atomic.exchange pool.failure None with
-    | Some e -> raise e
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()
   end
 

@@ -9,8 +9,13 @@
      depth is tracked per domain with [Domain.DLS], so spans recorded
      concurrently from pool workers never race. *)
 
-let epoch = Unix.gettimeofday ()
-let now () = Unix.gettimeofday () -. epoch
+(* CLOCK_MONOTONIC via a C stub (see telemetry_stubs.c): wall-clock
+   differences can go negative under NTP steps; span durations must not. *)
+external monotonic_ns : unit -> int64 = "mmc_monotonic_ns"
+
+let epoch = monotonic_ns ()
+let now_ns () = Int64.to_int (Int64.sub (monotonic_ns ()) epoch)
+let now () = float_of_int (now_ns ()) *. 1e-9
 let enabled = Atomic.make false
 let set_enabled b = Atomic.set enabled b
 let on () = Atomic.get enabled

@@ -8,9 +8,16 @@
     trace-event JSON export that opens directly in [chrome://tracing] or
     Perfetto.
 
-    Zero dependencies beyond [Unix], and {b disabled by default}: every
+    Zero library dependencies — time comes from
+    [clock_gettime(CLOCK_MONOTONIC)] via a local C stub, so spans are
+    immune to wall-clock (NTP) steps — and {b disabled by default}: every
     probe first reads one atomic flag, so an un-instrumented run pays a
     single load-and-branch per probe and no allocation. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since the telemetry epoch (module
+    initialisation).  The time source used for spans; also used by the
+    runtime pool for busy-time and barrier-wait accounting. *)
 
 (** {1 Global switch} *)
 

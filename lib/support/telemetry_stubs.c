@@ -1,0 +1,14 @@
+/* Monotonic clock for telemetry spans and pool busy-time accounting.
+   CLOCK_MONOTONIC is immune to NTP steps, so span durations can never go
+   negative the way wall-clock differences can. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value mmc_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + ts.tv_nsec);
+}

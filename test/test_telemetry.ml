@@ -371,6 +371,57 @@ let test_copy_elim_skips_allocation () =
   Alcotest.(check (option int)) "single matrix allocation" (Some 1)
     (List.assoc_opt "interp.mat_allocs" counters)
 
+(* Aliasing must NOT happen when the base or the alias is mutated while
+   both are live — the copy semantics of the seed are observable then.
+   Each program returns a value that differs if the slice aliases. *)
+
+let run_int ~copy_elim src =
+  let c = Driver.compose [ Driver.matrix ] in
+  match Driver.run ~copy_elim c src [] with
+  | Driver.Ok_ (Interp.Eval.VScal (Runtime.Scalar.I n)) -> n
+  | Driver.Ok_ v -> Alcotest.failf "unexpected result %a" Interp.Eval.pp_value v
+  | Driver.Failed ds ->
+      Alcotest.failf "run failed: %s" (Driver.diags_to_string ds)
+
+let check_copy_semantics name src =
+  with_telemetry @@ fun () ->
+  let with_elim = run_int ~copy_elim:true src in
+  Alcotest.(check (option int))
+    (name ^ ": mutated slice is not aliased")
+    (Some 0)
+    (List.assoc_opt "lower.identity_slices_aliased" (T.counters ()));
+  Alcotest.(check int)
+    (name ^ ": same result with and without copy elimination")
+    (run_int ~copy_elim:false src) with_elim
+
+let test_no_alias_when_base_mutated () =
+  check_copy_semantics "base mutated after slice"
+    {|int main() {
+        Matrix int <1> a = with ([0] <= [i] < [8]) genarray([8], i);
+        Matrix int <1> b = a[:];
+        a[0] = 100;
+        return b[0] * 1000 + a[0];
+      }|}
+
+let test_no_alias_when_alias_mutated () =
+  check_copy_semantics "write through the alias"
+    {|int main() {
+        Matrix int <1> a = with ([0] <= [i] < [8]) genarray([8], i + 1);
+        Matrix int <1> b = a[:];
+        b[0] = 55;
+        return a[0] * 1000 + b[0];
+      }|}
+
+let test_no_alias_when_transitive_alias_mutated () =
+  check_copy_semantics "write through a second-hop handle"
+    {|int main() {
+        Matrix int <1> a = with ([0] <= [i] < [8]) genarray([8], i + 1);
+        Matrix int <1> b = a[:];
+        Matrix int <1> c = b;
+        c[0] = 77;
+        return a[0] * 1000 + b[0];
+      }|}
+
 (* --- CLI surface -------------------------------------------------------------------- *)
 
 let mmc_exe = Filename.concat (Filename.concat ".." "bin") "mmc.exe"
@@ -455,6 +506,12 @@ let suite =
       test_copy_elim_changes_emitted_c;
     Alcotest.test_case "copy_elim skips the slice allocation" `Quick
       test_copy_elim_skips_allocation;
+    Alcotest.test_case "no aliasing when the base is mutated" `Quick
+      test_no_alias_when_base_mutated;
+    Alcotest.test_case "no aliasing when the alias is mutated" `Quick
+      test_no_alias_when_alias_mutated;
+    Alcotest.test_case "no aliasing across handle copies" `Quick
+      test_no_alias_when_transitive_alias_mutated;
     Alcotest.test_case "mmc --stats/--trace smoke" `Quick
       test_cli_stats_and_trace;
   ]
