@@ -1,0 +1,24 @@
+# Convenience wrappers around dune; `make check` is the CI entry point:
+# build + full test suite + the benchmark smoke pass (tiny sizes), so the
+# perf plumbing of bench/ cannot bit-rot silently.
+
+.PHONY: all test bench bench-smoke check clean
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+# Full benchmark sweep; writes BENCH_kernels.json and BENCH_telemetry.json.
+bench:
+	dune exec bench/main.exe
+
+# Seconds, not minutes: kernel group at tiny sizes + pool baselines.
+bench-smoke:
+	dune build @bench-smoke
+
+check: all test bench-smoke
+
+clean:
+	dune clean

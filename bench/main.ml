@@ -11,10 +11,16 @@
      C5  enhanced fork-join pool vs naive spawn-per-region (§III-C)
      C6  refcounting overhead and allocator behaviour (§III-B/C)
      C7  composition cost and the composability analyses (§VI)
+     C8  parallel cache-blocked runtime kernels (§III-C), exported to
+         BENCH_kernels.json
 
    Micro-kernels are measured with Bechamel (OLS over the monotonic
    clock); whole-program runs with repeated wall-clock medians.  Results
-   are summarised against the paper's claims in EXPERIMENTS.md. *)
+   are summarised against the paper's claims in EXPERIMENTS.md.
+
+   [--smoke] runs only the C8 kernel group at tiny sizes plus a
+   spawn-per-region sanity check (seconds, no JSON output) — the target
+   `make check` invokes so the perf plumbing cannot bit-rot silently. *)
 
 open Bechamel
 open Toolkit
@@ -394,6 +400,87 @@ let bench_composition () =
   instrumented "C7" (fun () ->
       ignore (Driver.compose Driver.all_extensions))
 
+(* --- C8: parallel cache-blocked kernels (§III-C) --------------------------------------------- *)
+
+(* Seq naive vs seq blocked vs blocked-on-a-4-worker-pool, the speedup
+   table behind the ISSUE 2 acceptance bar (>= 2x at 512x512 with 4
+   workers vs the sequential baseline).  On a machine with fewer than 4
+   cores the win comes from the cache/register blocking itself; extra
+   cores stack their speedup on top. *)
+let bench_blocked_kernels ~smoke () =
+  Fmt.pr "@.=== C8: parallel cache-blocked kernels (§III-C) ===@.";
+  let sizes = if smoke then [ 16; 48 ] else [ 64; 128; 256; 512; 1024 ] in
+  let mk s =
+    ( Nd.init_float [| s; s |] (fun ix ->
+          float_of_int (((7 * ix.(0)) + (3 * ix.(1))) mod 97) /. 97.),
+      Nd.init_float [| s; s |] (fun ix ->
+          float_of_int (((5 * ix.(0)) + ix.(1)) mod 89) /. 89.) )
+  in
+  Fmt.pr "  matmul (float), block=%d:@." (Nd.get_block_size ());
+  Fmt.pr "  %6s %12s %13s %12s %9s %9s@." "size" "naive(ms)" "blocked(ms)"
+    "par4(ms)" "blk-spd" "par4-spd";
+  let matmul_rows =
+    List.map
+      (fun s ->
+        let a, b = mk s in
+        let reps = if s >= 1024 then 1 else 3 in
+        let naive = wall ~reps (fun () -> ignore (Nd.matmul_naive a b)) in
+        let blocked = wall ~reps (fun () -> ignore (Nd.matmul_blocked a b)) in
+        let par4 =
+          Runtime.Pool.with_pool 4 (fun pool ->
+              wall ~reps (fun () -> ignore (Nd.matmul ~pool a b)))
+        in
+        Fmt.pr "  %6d %12.2f %13.2f %12.2f %8.2fx %8.2fx@." s (naive *. 1000.)
+          (blocked *. 1000.) (par4 *. 1000.) (naive /. blocked)
+          (naive /. par4);
+        (s, naive, blocked, par4))
+      sizes
+  in
+  let elems = if smoke then 65_536 else 4_194_304 in
+  let v = Nd.init_float [| elems |] (fun ix -> float_of_int ix.(0) /. 7.) in
+  let w = Nd.init_float [| elems |] (fun ix -> float_of_int (ix.(0) mod 13)) in
+  let ew_seq =
+    wall (fun () -> ignore (Nd.arith Runtime.Scalar.Add v w))
+  in
+  let ew_par =
+    Runtime.Pool.with_pool 4 (fun pool ->
+        wall (fun () -> ignore (Nd.arith ~pool Runtime.Scalar.Add v w)))
+  in
+  let red_seq = wall (fun () -> ignore (Nd.sum_float v)) in
+  let red_par =
+    Runtime.Pool.with_pool 4 (fun pool ->
+        wall (fun () -> ignore (Nd.sum_float ~pool v)))
+  in
+  Fmt.pr "  elementwise add %d elems: seq %.2f ms, pool-4 %.2f ms (%.2fx)@."
+    elems (ew_seq *. 1000.) (ew_par *. 1000.) (ew_seq /. ew_par);
+  Fmt.pr "  sum reduction   %d elems: seq %.2f ms, pool-4 %.2f ms (%.2fx)@."
+    elems (red_seq *. 1000.) (red_par *. 1000.) (red_seq /. red_par);
+  if not smoke then begin
+    let oc = open_out "BENCH_kernels.json" in
+    Printf.fprintf oc
+      "{\"machine_cores\":%d,\"block\":%d,\"grain\":%d,\n \"matmul\":[" cores
+      (Nd.get_block_size ()) (Nd.get_par_grain ());
+    List.iteri
+      (fun i (s, naive, blocked, par4) ->
+        if i > 0 then output_string oc ",\n  ";
+        Printf.fprintf oc
+          "{\"size\":%d,\"naive_ms\":%.3f,\"blocked_ms\":%.3f,\"par4_ms\":%.3f,\"speedup_blocked\":%.2f,\"speedup_par4\":%.2f}"
+          s (naive *. 1000.) (blocked *. 1000.) (par4 *. 1000.)
+          (naive /. blocked) (naive /. par4))
+      matmul_rows;
+    Printf.fprintf oc
+      "],\n \"elementwise\":{\"elems\":%d,\"seq_ms\":%.3f,\"par4_ms\":%.3f,\"speedup\":%.2f},\n"
+      elems (ew_seq *. 1000.) (ew_par *. 1000.) (ew_seq /. ew_par);
+    Printf.fprintf oc
+      " \"reduce\":{\"elems\":%d,\"seq_ms\":%.3f,\"par4_ms\":%.3f,\"speedup\":%.2f}}\n"
+      elems (red_seq *. 1000.) (red_par *. 1000.) (red_seq /. red_par);
+    close_out oc;
+    Fmt.pr "  kernel numbers written to BENCH_kernels.json@."
+  end;
+  instrumented "C8" (fun () ->
+      let a, b = mk (if smoke then 48 else 256) in
+      Runtime.Pool.with_pool 4 (fun pool -> ignore (Nd.matmul ~pool a b)))
+
 (* --- runtime micro-kernels (context for the groups above) ------------------------------------ *)
 
 let bench_kernels () =
@@ -431,17 +518,34 @@ let bench_kernels () =
                 done));
        ])
 
+(* Smoke mode: tiny-size kernel pass + one spawn-per-region sanity run
+   (keeps [Pool.naive_parallel_for], the C5 baseline, exercised). *)
+let smoke_check () =
+  bench_blocked_kernels ~smoke:true ();
+  let sink = Array.make 1_000 0 in
+  Runtime.Pool.naive_parallel_for 2 0 1_000 (fun i -> sink.(i) <- i);
+  let ok = Array.for_all (fun x -> x >= 0) sink in
+  Fmt.pr "  spawn-per-region baseline smoke: %s@." (if ok then "ok" else "FAIL");
+  if not ok then exit 1;
+  Fmt.pr "@.smoke ok.@."
+
 let () =
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   Fmt.pr "mmc benchmark harness — regenerates the experiment groups of \
-          DESIGN.md §4@.";
+          DESIGN.md §4%s@."
+    (if smoke then " (smoke mode)" else "");
   Fmt.pr "machine: %d core(s) visible to OCaml@." cores;
-  bench_kernels ();
-  bench_composition ();
-  bench_fusion ();
-  bench_slice_elim ();
-  bench_transform_variants ();
-  bench_forkjoin ();
-  bench_refcount ();
-  bench_scaling ();
-  write_bench_telemetry ();
-  Fmt.pr "@.done.@."
+  if smoke then smoke_check ()
+  else begin
+    bench_kernels ();
+    bench_composition ();
+    bench_fusion ();
+    bench_slice_elim ();
+    bench_transform_variants ();
+    bench_forkjoin ();
+    bench_refcount ();
+    bench_scaling ();
+    bench_blocked_kernels ~smoke:false ();
+    write_bench_telemetry ();
+    Fmt.pr "@.done.@."
+  end

@@ -185,8 +185,27 @@ let run_cmd =
          & info [ "data-dir" ] ~docv:"DIR"
              ~doc:"Directory where readMatrix/writeMatrix resolve paths.")
   in
-  let run exts_names threads data_dir tele file =
+  let block =
+    Arg.(value & opt (some int) None
+         & info [ "block" ] ~docv:"B"
+             ~doc:"Cache-block edge for the tiled matmul kernel (default \
+                   48, or \\$(b,MMC_BLOCK)).")
+  in
+  let grain =
+    Arg.(value & opt (some int) None
+         & info [ "grain" ] ~docv:"G"
+             ~doc:"Minimum elements before an elementwise/reduction kernel \
+                   dispatches to the pool (default 16384, or \
+                   \\$(b,MMC_GRAIN)).")
+  in
+  let run exts_names threads data_dir block grain tele file =
     with_telemetry tele @@ fun () ->
+    (try
+       Option.iter Runtime.Ndarray.set_block_size block;
+       Option.iter Runtime.Ndarray.set_par_grain grain
+     with Invalid_argument _ ->
+       Fmt.epr "mmc: --block and --grain must be positive@.";
+       raise (Fatal 2));
     let c = compose_or_die (resolve_exts exts_names) in
     let dir =
       match data_dir with
@@ -218,7 +237,9 @@ let run_cmd =
   in
   let doc = "Translate and execute on the parallel matrix runtime." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ exts_arg $ threads $ data_dir $ telemetry_term $ src_arg)
+    Term.(
+      const run $ exts_arg $ threads $ data_dir $ block $ grain
+      $ telemetry_term $ src_arg)
 
 (* ---------------------------------------------------------------------------------- *)
 

@@ -281,6 +281,10 @@ let compile_to_c ?fuse ?copy_elim ?auto_par (c : composed) (src : string) :
 let run ?fuse ?copy_elim ?auto_par ?pool ?dir ?(optimize = true)
     (c : composed) (src : string) (args : Interp.Eval.value list) :
     Interp.Eval.value outcome =
+  Option.iter
+    (fun p ->
+      Tel.set_gauge "pool.threads" (float_of_int (Runtime.Pool.threads p)))
+    pool;
   match frontend ~optimize c src with
   | Failed d -> Failed d
   | Ok_ ast -> (

@@ -71,20 +71,24 @@ let conv ~(from : Nd.elem) ~(to_ : Nd.elem) e =
 (* --- elementwise loops (§III-A2) ------------------------------------------- *)
 
 (* Build: r = alloc(out_elem, dims of model); for i < size(model):
-     r[i] = op(load a, load b).  [load] gets the flat index var. *)
+     r[i] = op(load a, load b).  [load] gets the flat index var.
+   Each flat index writes exactly one output element, so under
+   auto-parallelization the loop becomes a ParFor region (§III-C). *)
 let ew_loop t ~(model : string) ~(rank : int) ~(out_elem : Nd.elem)
     ~(body : expr -> expr) : stmt list * expr =
   let r = L.fresh t "ew" and i = L.fresh t "i" in
   let alloc = MAlloc (out_elem, dims_of model rank) in
+  let loop =
+    {
+      index = i;
+      bound = MSize (Var model);
+      body = [ MSetFlat (Var r, Var i, body (Var i)) ];
+    }
+  in
   let stmts =
     [
       Decl (CMat (out_elem, rank), r, Some alloc);
-      For
-        {
-          index = i;
-          bound = MSize (Var model);
-          body = [ MSetFlat (Var r, Var i, body (Var i)) ];
-        };
+      (if t.L.auto_par then ParFor loop else For loop);
     ]
   in
   L.add_pending t r;
@@ -159,16 +163,17 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
           MSetFlat (Var r, (Var i *: n) +: Var j, Var acc);
         ]
       in
+      (* Each outer iteration writes result row [i] only, so the row loop
+         parallelises under auto-par (§III-C) — the interpreter's analogue
+         of dispatching matmul row blocks to the pool. *)
+      let row_loop =
+        { index = i; bound = m; body = [ For { index = j; bound = n; body } ] }
+      in
       let stmts =
         sa @ sb
         @ [
             Decl (CMat (e1, 2), r, Some (MAlloc (e1, [ m; n ])));
-            For
-              {
-                index = i;
-                bound = m;
-                body = [ For { index = j; bound = n; body } ];
-              };
+            (if t.L.auto_par then ParFor row_loop else For row_loop);
           ]
       in
       L.add_pending t r;

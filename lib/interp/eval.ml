@@ -293,16 +293,15 @@ and exec (ctx : ctx) (env : env) (s : stmt) : unit =
           done
       | Some pool ->
           (* The with-loop generator guarantees disjoint index sets, so
-             iterations write disjoint elements (§III-A4); exceptions are
-             funneled back to the main thread. *)
-          let failure = Atomic.make None in
-          Runtime.Pool.parallel_for pool 0 bound (fun i ->
-              try
-                let inner = new_env ~parent:env () in
-                declare inner l.index (VScal (S.I i));
-                exec_block ctx inner l.body
-              with e -> Atomic.set failure (Some e));
-          (match Atomic.get failure with Some e -> raise e | None -> ()))
+             iterations write disjoint elements (§III-A4).  Guided chunking
+             load-balances bodies of uneven cost (matrixMap over slices,
+             conncomp frames); the pool re-raises the first body exception
+             at the stop barrier with its backtrace. *)
+          Runtime.Pool.parallel_for ~chunking:Runtime.Pool.Guided pool 0 bound
+            (fun i ->
+              let inner = new_env ~parent:env () in
+              declare inner l.index (VScal (S.I i));
+              exec_block ctx inner l.body))
   | ExprS e -> ignore (eval ctx env e)
   | Return None -> raise (Return_exc VUnit)
   | Return (Some e) -> raise (Return_exc (eval ctx env e))

@@ -26,6 +26,10 @@ type t = {
   job : job option Atomic.t;
   done_count : int Atomic.t;
   shutdown : bool Atomic.t;
+  in_region : bool Atomic.t;
+      (** a region is currently executing; a nested [run] (e.g. a kernel
+          dispatching from inside a worker's share) executes inline on the
+          calling thread instead of corrupting the single job slot *)
   failure : (exn * Printexc.raw_backtrace) option Atomic.t;
       (** first exception raised by any thread's share of the current job,
           with the raising thread's backtrace; re-raised on the main
@@ -43,6 +47,8 @@ let c_spin_wakeups = Support.Telemetry.counter "pool.wakeups_spin"
 let c_sleep_wakeups = Support.Telemetry.counter "pool.wakeups_sleep"
 let c_barrier_ns = Support.Telemetry.counter "pool.barrier_wait_ns"
 let c_exceptions = Support.Telemetry.counter "pool.job_exceptions"
+let c_chunks = Support.Telemetry.counter "pool.chunks_dispatched"
+let c_nested = Support.Telemetry.counter "pool.nested_inline_runs"
 
 (* Spin with progressive back-off: pure spinning briefly (the fast path the
    enhanced fork-join model is built for), then yield to the OS so
@@ -115,6 +121,7 @@ let create n =
       job = Atomic.make None;
       done_count = Atomic.make 0;
       shutdown = Atomic.make false;
+      in_region = Atomic.make false;
       failure = Atomic.make None;
       busy =
         Array.init n (fun i ->
@@ -131,68 +138,135 @@ let threads pool = pool.n_workers + 1
 (** [run pool f] — one parallel region: every thread [t] of [n] executes
     [f t n]; returns when all have passed the stop barrier.  If any share
     raised, the first exception is re-raised here (after every worker has
-    parked again, so the pool stays usable). *)
+    parked again, so the pool stays usable).
+
+    Re-entrant: a [run] issued while a region is already executing (a
+    nested parallel op from inside a worker's share, or a kernel called
+    from a [ParFor] body) executes its function inline as [f 0 1] — the
+    outer region already owns all the threads, so nesting degenerates to
+    sequential execution instead of deadlocking on the single job slot. *)
 let run pool (fn : int -> int -> unit) =
   if pool.n_workers = 0 then begin
     Support.Telemetry.bump c_jobs;
     fn 0 1
   end
-  else begin
-    Atomic.set pool.done_count 0;
-    Atomic.set pool.job (Some { fn });
-    Atomic.incr pool.generation;
-    (* release *)
-    Support.Telemetry.bump c_jobs;
-    run_share pool 0 fn;
-    (* main thread's share *)
-    let wait () =
-      ignore
-        (spin_until (fun () -> Atomic.get pool.done_count = pool.n_workers))
-      (* stop barrier *)
-    in
-    if Support.Telemetry.on () then begin
-      let t0 = Support.Telemetry.now_ns () in
-      wait ();
-      Support.Telemetry.add c_barrier_ns (Support.Telemetry.now_ns () - t0)
-    end
-    else wait ();
-    match Atomic.exchange pool.failure None with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+  else if not (Atomic.compare_and_set pool.in_region false true) then begin
+    Support.Telemetry.bump c_nested;
+    fn 0 1
   end
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set pool.in_region false)
+      (fun () ->
+        Atomic.set pool.done_count 0;
+        Atomic.set pool.job (Some { fn });
+        Atomic.incr pool.generation;
+        (* release *)
+        Support.Telemetry.bump c_jobs;
+        run_share pool 0 fn;
+        (* main thread's share *)
+        let wait () =
+          ignore
+            (spin_until (fun () ->
+                 Atomic.get pool.done_count = pool.n_workers))
+          (* stop barrier *)
+        in
+        if Support.Telemetry.on () then begin
+          let t0 = Support.Telemetry.now_ns () in
+          wait ();
+          Support.Telemetry.add c_barrier_ns (Support.Telemetry.now_ns () - t0)
+        end
+        else wait ();
+        match Atomic.exchange pool.failure None with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
 
-(** [parallel_for pool lo hi f] — apply [f] to every index in [lo, hi)
-    with contiguous static chunking, the schedule the generated code uses
-    for with-loops (each thread gets a unique, disjoint set of indices —
-    guaranteed by the with-loop generator semantics, §III-A4). *)
-let parallel_for pool lo hi f =
+(** How a [lo, hi) iteration space is carved into chunks (§III-C):
+    - [Static]: one contiguous chunk per thread, the schedule the
+      with-loop generator semantics guarantee disjointness for (§III-A4).
+      Zero coordination; best when iterations cost the same.
+    - [Guided]: threads grab shrinking chunks ([remaining / 2n], floored
+      at the grain) from a shared counter; costs one CAS per chunk but
+      load-balances irregular iteration bodies (matrixMap over slices of
+      varying work, conncomp frames with different eddy counts). *)
+type chunking = Static | Guided
+
+(** [parallel_for_ranges ?chunking ?grain pool lo hi f] — partition
+    [lo, hi) into chunks and call [f chunk_lo chunk_hi] for each, in
+    parallel.  Ranges of at most [grain] indices (default 1, i.e. empty or
+    singleton ranges) run inline on the calling thread without waking the
+    pool — the grain-size heuristic that keeps small kernels cheap. *)
+let parallel_for_ranges ?(chunking = Static) ?(grain = 1) pool lo hi f =
   let total = hi - lo in
-  if total > 0 then
+  let grain = max 1 grain in
+  if total <= 0 then ()
+  else if total <= grain then begin
+    Support.Telemetry.bump c_chunks;
+    f lo hi
+  end
+  else
+    match chunking with
+    | Static ->
+        run pool (fun t n ->
+            let chunk = (total + n - 1) / n in
+            let start = lo + (t * chunk) in
+            let stop = min hi (start + chunk) in
+            if start < stop then begin
+              Support.Telemetry.bump c_chunks;
+              f start stop
+            end)
+    | Guided ->
+        let next = Atomic.make lo in
+        run pool (fun _ n ->
+            let continue = ref true in
+            while !continue do
+              let cur = Atomic.get next in
+              if cur >= hi then continue := false
+              else
+                let size = min (hi - cur) (max grain ((hi - cur) / (2 * n))) in
+                if Atomic.compare_and_set next cur (cur + size) then begin
+                  Support.Telemetry.bump c_chunks;
+                  f cur (cur + size)
+                end
+            done)
+
+(** [parallel_for pool lo hi f] — apply [f] to every index in [lo, hi),
+    scheduled in chunks (see {!parallel_for_ranges}). *)
+let parallel_for ?chunking ?grain pool lo hi f =
+  parallel_for_ranges ?chunking ?grain pool lo hi (fun clo chi ->
+      for i = clo to chi - 1 do
+        f i
+      done)
+
+(** [parallel_fold pool lo hi ~init ~body ~combine] — per-thread partial
+    folds combined sequentially by the main thread (how the generated code
+    parallelises fold with-loops).  Ranges of at most [grain] indices fold
+    inline without waking the pool. *)
+let parallel_fold ?(grain = 1) pool lo hi ~init ~body ~combine =
+  let total = hi - lo in
+  let grain = max 1 grain in
+  if total <= 0 then init
+  else if total <= grain then begin
+    let acc = ref init in
+    for i = lo to hi - 1 do
+      acc := body !acc i
+    done;
+    !acc
+  end
+  else begin
+    let n = threads pool in
+    let partials = Array.make n init in
     run pool (fun t n ->
         let chunk = (total + n - 1) / n in
         let start = lo + (t * chunk) in
         let stop = min hi (start + chunk) in
+        let acc = ref init in
         for i = start to stop - 1 do
-          f i
-        done)
-
-(** [parallel_fold pool lo hi ~init ~body ~combine] — per-thread partial
-    folds combined sequentially by the main thread (how the generated code
-    parallelises fold with-loops). *)
-let parallel_fold pool lo hi ~init ~body ~combine =
-  let n = threads pool in
-  let partials = Array.make n init in
-  run pool (fun t n ->
-      let total = hi - lo in
-      let chunk = (total + n - 1) / n in
-      let start = lo + (t * chunk) in
-      let stop = min hi (start + chunk) in
-      let acc = ref init in
-      for i = start to stop - 1 do
-        acc := body !acc i
-      done;
-      partials.(t) <- !acc);
-  Array.fold_left combine init partials
+          acc := body !acc i
+        done;
+        partials.(t) <- !acc);
+    Array.fold_left combine init partials
+  end
 
 (** Park the workers permanently and join their domains. *)
 let shutdown pool =
@@ -217,6 +291,9 @@ let naive_run n (fn : int -> int -> unit) =
     Array.iter Domain.join ds
   end
 
+(** Spawn-per-region counterpart of {!parallel_for}.  Kept deliberately:
+    it is the baseline the C5 benchmark group measures {!run} against
+    (and [bench --smoke] exercises it so it cannot bit-rot). *)
 let naive_parallel_for n lo hi f =
   let total = hi - lo in
   if total > 0 then

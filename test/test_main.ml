@@ -11,4 +11,5 @@ let () =
       ("cilk", Test_cilk.suite);
       ("programs", Test_programs.suite);
       ("telemetry", Test_telemetry.suite);
+      ("kernels", Test_kernels.suite);
     ]
