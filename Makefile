@@ -1,8 +1,9 @@
 # Convenience wrappers around dune; `make check` is the CI entry point:
-# build + full test suite + the benchmark smoke pass (tiny sizes), so the
-# perf plumbing of bench/ cannot bit-rot silently.
+# build + full test suite + the benchmark smoke pass (tiny sizes) + the
+# profiler JSON contract, so neither the perf plumbing of bench/ nor the
+# `mmc profile --json` schema can bit-rot silently.
 
-.PHONY: all test bench bench-smoke check clean
+.PHONY: all test bench bench-smoke bench-compare profile-check check clean
 
 all:
 	dune build
@@ -18,7 +19,19 @@ bench:
 bench-smoke:
 	dune build @bench-smoke
 
-check: all test bench-smoke
+# Regression gate: re-measure the C8 kernels at capped sizes and exit
+# non-zero if any is >25% slower than the committed baseline numbers.
+bench-compare: all
+	dune exec bench/main.exe -- --compare BENCH_kernels.json
+
+# Run the source-attributed profiler on an example and validate the
+# machine-readable output against the schema checker in the bench binary.
+profile-check: all
+	dune exec bin/mmc.exe -- profile examples/eddy_energy.mc --json \
+	  > _build/profile_check.json
+	dune exec bench/main.exe -- --check-profile-json _build/profile_check.json
+
+check: all test bench-smoke profile-check
 
 clean:
 	dune clean

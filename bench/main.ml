@@ -518,6 +518,168 @@ let bench_kernels () =
                 done));
        ])
 
+(* --- bench --compare: regression gate against a committed baseline ---------------- *)
+
+(* Re-measure the C8 kernels at the baseline's sizes (capped so the gate
+   runs in seconds, not minutes) and fail on >25% slowdown of any kernel
+   vs the committed BENCH_kernels.json.  Speed-ups and small noise pass;
+   the gate is for catching real regressions in the blocked matmul, the
+   pooled elementwise path or the pooled reduction. *)
+let compare_threshold = 1.25
+let compare_size_cap = 256
+let compare_elems_cap = 1_048_576
+
+let bench_compare baseline_path =
+  let module J = Support.Json in
+  let baseline =
+    try J.parse_file baseline_path
+    with
+    | Sys_error m ->
+        Fmt.epr "bench --compare: cannot read %s: %s@." baseline_path m;
+        exit 2
+    | J.Bad_json m ->
+        Fmt.epr "bench --compare: %s is not valid JSON: %s@." baseline_path m;
+        exit 2
+  in
+  Fmt.pr "=== bench --compare vs %s (fail on >%.0f%% slowdown) ===@."
+    baseline_path
+    ((compare_threshold -. 1.) *. 100.);
+  let failures = ref 0 in
+  let check name ~baseline_ms ~current_ms =
+    let ratio = current_ms /. baseline_ms in
+    let bad = ratio > compare_threshold in
+    if bad then incr failures;
+    Fmt.pr "  %-28s baseline %9.2f ms   now %9.2f ms   %5.2fx %s@." name
+      baseline_ms current_ms ratio
+      (if bad then "REGRESSION" else "ok")
+  in
+  let mk s =
+    ( Nd.init_float [| s; s |] (fun ix ->
+          float_of_int (((7 * ix.(0)) + (3 * ix.(1))) mod 97) /. 97.),
+      Nd.init_float [| s; s |] (fun ix ->
+          float_of_int (((5 * ix.(0)) + ix.(1)) mod 89) /. 89.) )
+  in
+  (match Option.bind (J.field "matmul" baseline) J.arr with
+  | None -> Fmt.epr "  baseline has no \"matmul\" array — skipping@."
+  | Some rows ->
+      List.iter
+        (fun row ->
+          match J.num_field row "size" with
+          | Some size when int_of_float size <= compare_size_cap ->
+              let s = int_of_float size in
+              let a, b = mk s in
+              let measure label getter f =
+                match J.num_field row getter with
+                | None -> ()
+                | Some base_ms ->
+                    let cur = wall ~reps:5 f *. 1000. in
+                    check
+                      (Printf.sprintf "matmul %s %dx%d" label s s)
+                      ~baseline_ms:base_ms ~current_ms:cur
+              in
+              measure "naive" "naive_ms" (fun () ->
+                  ignore (Nd.matmul_naive a b));
+              measure "blocked" "blocked_ms" (fun () ->
+                  ignore (Nd.matmul_blocked a b));
+              (* pool lives across the reps — the baseline bench times the
+                 dispatch, not domain spawn/shutdown *)
+              Runtime.Pool.with_pool 4 (fun pool ->
+                  measure "par4" "par4_ms" (fun () ->
+                      ignore (Nd.matmul ~pool a b)))
+          | _ -> ())
+        rows);
+  let scaled_1d group label f =
+    (* 1-D kernels: the baseline ran at its recorded [elems]; re-measure
+       at min(baseline, cap) and scale the baseline linearly — these
+       kernels are O(n). *)
+    match J.field group baseline with
+    | None -> Fmt.epr "  baseline has no %S object — skipping@." group
+    | Some obj -> (
+        match (J.num_field obj "elems", J.num_field obj "seq_ms") with
+        | Some elems, Some seq_ms ->
+            let elems = int_of_float elems in
+            let n = min elems compare_elems_cap in
+            let scale = float_of_int n /. float_of_int elems in
+            let v =
+              Nd.init_float [| n |] (fun ix -> float_of_int ix.(0) /. 7.)
+            in
+            let w =
+              Nd.init_float [| n |] (fun ix -> float_of_int (ix.(0) mod 13))
+            in
+            let cur = wall ~reps:5 (fun () -> f v w) *. 1000. in
+            check
+              (Printf.sprintf "%s seq (%d elems)" label n)
+              ~baseline_ms:(seq_ms *. scale) ~current_ms:cur
+        | _ -> ())
+  in
+  scaled_1d "elementwise" "elementwise add" (fun v w ->
+      ignore (Nd.arith Runtime.Scalar.Add v w));
+  scaled_1d "reduce" "sum reduction" (fun v _ -> ignore (Nd.sum_float v));
+  if !failures > 0 then begin
+    Fmt.pr "@.%d kernel(s) regressed beyond %.0f%%.@." !failures
+      ((compare_threshold -. 1.) *. 100.);
+    exit 1
+  end
+  else Fmt.pr "@.no kernel regressed beyond %.0f%%.@."
+         ((compare_threshold -. 1.) *. 100.)
+
+(* --- bench --check-profile-json: schema validator for `mmc profile --json` -------- *)
+
+(* Tiny structural checker so `make check` can assert the profiler's JSON
+   contract without a JSON-schema dependency: required numeric/string
+   fields at each level, rows is an array, coverage within [0, ~1]. *)
+let check_profile_json path =
+  let module J = Support.Json in
+  let problems = ref [] in
+  let bad fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
+  (try
+     let j = J.parse_file path in
+     let need_num obj ctx name =
+       if J.num_field obj name = None then bad "%s: missing number %S" ctx name
+     in
+     List.iter (need_num j "top-level")
+       [ "wall_ns"; "attributed_ns"; "coverage" ];
+     (match J.num_field j "coverage" with
+     | Some c when c < 0.0 || c > 1.5 -> bad "coverage %.3f out of range" c
+     | _ -> ());
+     (match Option.bind (J.field "rows" j) J.arr with
+     | None -> bad "top-level: missing array \"rows\""
+     | Some rows ->
+         List.iteri
+           (fun i row ->
+             let ctx = Printf.sprintf "rows[%d]" i in
+             if Option.bind (J.field "span" row) J.str = None then
+               bad "%s: missing string \"span\"" ctx;
+             if Option.bind (J.field "source" row) J.str = None then
+               bad "%s: missing string \"source\"" ctx;
+             List.iter (need_num row ctx)
+               [
+                 "line"; "total_ns"; "self_ns"; "pct"; "iters"; "dispatches";
+                 "par_ns"; "seq_ns"; "alloc_bytes";
+               ];
+             match J.field "workers" row with
+             | Some (J.Obj _) -> ()
+             | _ -> bad "%s: missing object \"workers\"" ctx)
+           rows);
+     match J.field "memory" j with
+     | Some mem ->
+         List.iter (need_num mem "memory")
+           [
+             "allocated_bytes"; "peak_bytes"; "live_bytes";
+             "unattributed_alloc_bytes";
+           ]
+     | None -> bad "top-level: missing object \"memory\""
+   with
+  | Sys_error m -> bad "cannot read %s: %s" path m
+  | J.Bad_json m -> bad "invalid JSON: %s" m);
+  match List.rev !problems with
+  | [] ->
+      Fmt.pr "%s: profile JSON schema ok.@." path;
+      exit 0
+  | ps ->
+      List.iter (fun p -> Fmt.epr "%s: %s@." path p) ps;
+      exit 1
+
 (* Smoke mode: tiny-size kernel pass + one spawn-per-region sanity run
    (keeps [Pool.naive_parallel_for], the C5 baseline, exercised). *)
 let smoke_check () =
@@ -529,7 +691,26 @@ let smoke_check () =
   if not ok then exit 1;
   Fmt.pr "@.smoke ok.@."
 
+(* Value of a "--flag FILE" pair on the command line. *)
+let flag_value name =
+  let argv = Sys.argv in
+  let r = ref None in
+  Array.iteri
+    (fun i a ->
+      if String.equal a name && i + 1 < Array.length argv then
+        r := Some argv.(i + 1))
+    argv;
+  !r
+
 let () =
+  (match flag_value "--check-profile-json" with
+  | Some path -> check_profile_json path
+  | None -> ());
+  (match flag_value "--compare" with
+  | Some path ->
+      bench_compare path;
+      exit 0
+  | None -> ());
   let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   Fmt.pr "mmc benchmark harness — regenerates the experiment groups of \
           DESIGN.md §4%s@."

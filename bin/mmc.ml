@@ -131,12 +131,13 @@ let check_cmd =
   let run exts_names tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
-    match Driver.frontend c (read_source file) with
+    let src = read_source file in
+    match Driver.frontend c src with
     | Driver.Ok_ _ ->
         Fmt.pr "%s: OK@." file;
         0
     | Driver.Failed ds ->
-        Fmt.epr "%s@." (Driver.diags_to_string ds);
+        Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
         1
   in
   let doc = "Parse and typecheck an extended-C program." in
@@ -154,73 +155,91 @@ let emit_cmd =
     Arg.(value & flag & info [ "auto-par" ]
          ~doc:"Auto-parallelize with-loops and matrixMap (§III-C).")
   in
-  let run exts_names no_fuse auto_par tele file =
+  let line_directives =
+    Arg.(value & flag & info [ "line-directives" ]
+         ~doc:"Emit #line directives pointing C tools (debuggers, \
+               profilers) back at the original extended-C source.")
+  in
+  let run exts_names no_fuse auto_par line_directives tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
+    let src = read_source file in
+    let line_file =
+      if line_directives then
+        Some (if file = "-" then "<stdin>" else file)
+      else None
+    in
+    let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     match
-      Driver.compile_to_c ~fuse:(not no_fuse) ~auto_par c (read_source file)
+      Driver.compile_to_c ~fuse:(not no_fuse) ~auto_par ~warn ?line_file c src
     with
     | Driver.Ok_ text ->
         print_string text;
         0
     | Driver.Failed ds ->
-        Fmt.epr "%s@." (Driver.diags_to_string ds);
+        Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
         1
   in
   let doc = "Translate extended C down to plain parallel C (§II)." in
   Cmd.v (Cmd.info "emit" ~doc)
-    Term.(const run $ exts_arg $ fuse $ auto_par $ telemetry_term $ src_arg)
+    Term.(
+      const run $ exts_arg $ fuse $ auto_par $ line_directives $ telemetry_term
+      $ src_arg)
 
-(* --- run ----------------------------------------------------------------------- *)
+(* --- run / profile (shared runtime options) ------------------------------------ *)
+
+let threads_arg =
+  Arg.(value & opt int 1
+       & info [ "t"; "threads" ] ~docv:"N"
+           ~doc:"Worker-pool threads (the paper's command-line thread \
+                 count, §III-C). Implies auto-parallelization when > 1.")
+
+let data_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Directory where readMatrix/writeMatrix resolve paths.")
+
+let block_arg =
+  Arg.(value & opt (some int) None
+       & info [ "block" ] ~docv:"B"
+           ~doc:"Cache-block edge for the tiled matmul kernel (default \
+                 48, or \\$(b,MMC_BLOCK)).")
+
+let grain_arg =
+  Arg.(value & opt (some int) None
+       & info [ "grain" ] ~docv:"G"
+           ~doc:"Minimum elements before an elementwise/reduction kernel \
+                 dispatches to the pool (default 16384, or \
+                 \\$(b,MMC_GRAIN)).")
+
+let set_kernel_knobs block grain =
+  try
+    Option.iter Runtime.Ndarray.set_block_size block;
+    Option.iter Runtime.Ndarray.set_par_grain grain
+  with Invalid_argument _ ->
+    Fmt.epr "mmc: --block and --grain must be positive@.";
+    raise (Fatal 2)
+
+let resolve_data_dir = function
+  | Some d -> d
+  | None ->
+      let d = Filename.temp_file "mmc_run" "" in
+      Sys.remove d;
+      Sys.mkdir d 0o755;
+      d
 
 let run_cmd =
-  let threads =
-    Arg.(value & opt int 1
-         & info [ "t"; "threads" ] ~docv:"N"
-             ~doc:"Worker-pool threads (the paper's command-line thread \
-                   count, §III-C). Implies auto-parallelization when > 1.")
-  in
-  let data_dir =
-    Arg.(value & opt (some string) None
-         & info [ "data-dir" ] ~docv:"DIR"
-             ~doc:"Directory where readMatrix/writeMatrix resolve paths.")
-  in
-  let block =
-    Arg.(value & opt (some int) None
-         & info [ "block" ] ~docv:"B"
-             ~doc:"Cache-block edge for the tiled matmul kernel (default \
-                   48, or \\$(b,MMC_BLOCK)).")
-  in
-  let grain =
-    Arg.(value & opt (some int) None
-         & info [ "grain" ] ~docv:"G"
-             ~doc:"Minimum elements before an elementwise/reduction kernel \
-                   dispatches to the pool (default 16384, or \
-                   \\$(b,MMC_GRAIN)).")
-  in
   let run exts_names threads data_dir block grain tele file =
     with_telemetry tele @@ fun () ->
-    (try
-       Option.iter Runtime.Ndarray.set_block_size block;
-       Option.iter Runtime.Ndarray.set_par_grain grain
-     with Invalid_argument _ ->
-       Fmt.epr "mmc: --block and --grain must be positive@.";
-       raise (Fatal 2));
+    set_kernel_knobs block grain;
     let c = compose_or_die (resolve_exts exts_names) in
-    let dir =
-      match data_dir with
-      | Some d -> d
-      | None ->
-          let d = Filename.temp_file "mmc_run" "" in
-          Sys.remove d;
-          Sys.mkdir d 0o755;
-          d
-    in
+    let dir = resolve_data_dir data_dir in
     let src = read_source file in
     let auto_par = threads > 1 in
+    let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     let exec pool =
       Runtime.Rc.reset ();
-      match Driver.run ~dir ?pool ~auto_par c src [] with
+      match Driver.run ~dir ?pool ~auto_par ~warn c src [] with
       | Driver.Ok_ v ->
           Fmt.pr "result: %a@." Interp.Eval.pp_value v;
           let live = Runtime.Rc.live_count () in
@@ -228,7 +247,7 @@ let run_cmd =
             Fmt.epr "warning: %d allocation(s) still live at exit@." live;
           0
       | Driver.Failed ds ->
-          Fmt.epr "%s@." (Driver.diags_to_string ds);
+          Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
           1
     in
     if threads > 1 then
@@ -238,12 +257,84 @@ let run_cmd =
   let doc = "Translate and execute on the parallel matrix runtime." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ exts_arg $ threads $ data_dir $ block $ grain
+      const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
       $ telemetry_term $ src_arg)
+
+(* --- profile ------------------------------------------------------------------- *)
+
+let profile_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the profile as machine-readable JSON instead of \
+                   the hot-loop table.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write folded stacks (one 'span;span self_ns' line per \
+                   source path) for flamegraph.pl / speedscope.")
+  in
+  let top =
+    Arg.(value & opt int 15
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows to show in the hot-loop table (default 15).")
+  in
+  let run exts_names threads data_dir block grain json folded top tele file =
+    with_telemetry tele @@ fun () ->
+    set_kernel_knobs block grain;
+    let c = compose_or_die (resolve_exts exts_names) in
+    let dir = resolve_data_dir data_dir in
+    let src = read_source file in
+    let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
+    let exec pool =
+      let outcome, report =
+        Driver.profile ~dir ?pool ~auto_par:(threads > 1) ~warn c src []
+      in
+      let dump_folded () =
+        Option.iter
+          (fun path ->
+            try
+              Out_channel.with_open_text path (fun oc ->
+                  List.iter
+                    (fun l -> Out_channel.output_string oc (l ^ "\n"))
+                    (Driver.Profile_report.folded_lines ()))
+            with Sys_error m -> Fmt.epr "mmc: cannot write folded: %s@." m)
+          folded
+      in
+      match outcome with
+      | Driver.Ok_ v ->
+          if json then
+            print_string (Driver.Profile_report.to_json ~src report ^ "\n")
+          else begin
+            Fmt.pr "result: %a@." Interp.Eval.pp_value v;
+            print_string (Driver.Profile_report.to_string ~top ~src report)
+          end;
+          dump_folded ();
+          0
+      | Driver.Failed ds ->
+          Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
+          1
+    in
+    if threads > 1 then
+      Runtime.Pool.with_pool threads (fun pool -> exec (Some pool))
+    else exec None
+  in
+  let doc =
+    "Run a program under the source-attributed profiler: a hot-loop table \
+     keyed by source span, with iteration counts, per-span allocation \
+     bytes and parallel-vs-sequential time."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
+      $ json $ folded $ top $ telemetry_term $ src_arg)
 
 (* ---------------------------------------------------------------------------------- *)
 
 let () =
   let doc = "extensible CMINUS translator with parallel matrix extensions" in
   let info = Cmd.info "mmc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; check_cmd; emit_cmd; run_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ analyze_cmd; check_cmd; emit_cmd; run_cmd; profile_cmd ]))

@@ -102,6 +102,11 @@ let rec lvalue = function
   | LVar v -> v
   | LField (lv, i) -> Printf.sprintf "%s.f%d" (lvalue lv) i
 
+(* When [Some file], [Located] nodes emit [#line] directives pointing the C
+   toolchain (debuggers, profilers) back at the original source. Off by
+   default so emitted C is unchanged for existing consumers. *)
+let line_file : string option ref = ref None
+
 let ctype_decl t name =
   match t with
   | CMat (_, _) -> Printf.sprintf "%s *%s" (ctype_name t) name
@@ -167,6 +172,16 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
       line "%s = cilk_spawn %s(%s);" (lvalue lv) f
         (String.concat ", " (List.map (expr ~prec:0) args))
   | Sync -> line "cilk_sync;"
+  | Located (sp, b) ->
+      (* Not a C scope: print the inner statements at the current indent so
+         declarations stay visible to later siblings. *)
+      (match !line_file with
+      | Some file ->
+          Buffer.add_string buf
+            (Printf.sprintf "#line %d %S\n" sp.Support.Pos.left.Support.Pos.line
+               file)
+      | None -> ());
+      block buf ind b
 
 and block buf ind stmts = List.iter (stmt buf ind) stmts
 
@@ -200,8 +215,14 @@ let preamble =
       "";
     ]
 
-let program (p : program) : string =
-  preamble ^ String.concat "\n" (List.map func p.funcs)
+let program ?line_directives_file (p : program) : string =
+  line_file := line_directives_file;
+  let out =
+    Fun.protect
+      ~finally:(fun () -> line_file := None)
+      (fun () -> preamble ^ String.concat "\n" (List.map func p.funcs))
+  in
+  out
 
 (** Emission of a single statement list (golden tests on loop shapes). *)
 let stmts (ss : stmt list) : string =

@@ -87,8 +87,21 @@ type stmt =
       (** Cilk-style [x = spawn f(args)] (§VIII future work): the call runs
           concurrently; the assignment lands at the next [Sync] *)
   | Sync  (** Cilk sync: wait for every spawn of the current function *)
+  | Located of Support.Pos.span * stmt list
+      (** Provenance wrapper: the statements came from this source span.
+          NOT a scope — declarations inside stay visible to later siblings;
+          the emitter prints the inner statements inline (plus an optional
+          [#line] directive) and the interpreter executes them in the
+          current environment. *)
 
-and loop = { index : string; bound : expr; body : stmt list }
+and loop = {
+  index : string;
+  bound : expr;
+  body : stmt list;
+  prov : Support.Pos.span option;
+      (** source span of the matrix expression / statement this loop was
+          lowered from; transformations preserve (and merge) it *)
+}
 (** Canonical loop: [for (int index = 0; index < bound; index++)]. The
     lowerings always produce this form; transformations rely on it. *)
 
@@ -151,6 +164,7 @@ let rec map_stmt fe fs s =
     | Block b -> Block (rb b)
     | Spawn (lv, f, args) -> Spawn (lv, f, List.map re args)
     | Sync -> Sync
+    | Located (sp, b) -> Located (sp, rb b)
   in
   fs s'
 
@@ -189,6 +203,15 @@ let stmts_use_var name b =
          | x -> x)
        Fun.id b);
   !found
+
+(** Loop constructor; [?prov] is the source span the loop is attributed to. *)
+let mk_loop ?prov ~index ~bound body = { index; bound; body; prov }
+
+(** Merge two optional provenance spans (fused loops keep the union). *)
+let merge_prov a b =
+  match (a, b) with
+  | None, p | p, None -> p
+  | Some x, Some y -> Some (Support.Pos.merge x y)
 
 (** Structural helpers for building lowered code. *)
 let ( +: ) a b = Binop (Arith Runtime.Scalar.Add, a, b)

@@ -65,6 +65,7 @@ let rewrite_loop (name : string) (f : loop -> par:bool -> stmt list)
     | If (c, a, b) -> [ If (c, go_block a, go_block b) ]
     | While (c, b) -> [ While (c, go_block b) ]
     | Block b -> [ Block (go_block b) ]
+    | Located (sp, b) -> [ Located (sp, go_block b) ]
     | s -> [ s ]
   and go_block b = List.concat_map go_stmt b in
   (* Bind before reading [found]: tuple components evaluate right-to-left. *)
@@ -81,7 +82,7 @@ let loop_indices (body : stmt list) : string list =
     | If (_, a, b) ->
         List.iter go a;
         List.iter go b
-    | While (_, b) | Block b -> List.iter go b
+    | While (_, b) | Block b | Located (_, b) -> List.iter go b
     | _ -> ()
   in
   List.iter go body;
@@ -117,12 +118,18 @@ let apply_split ?(ceil_mode = false) ~target ~factor ~inner ~outer body =
                     index = inner;
                     bound = inner_bound;
                     body = subst_var l.index reconstructed l.body;
+                    prov = l.prov;
                   };
               ]
             in
             if par then
-              ParFor { index = outer; bound = outer_bound; body = main_body }
-            else For { index = outer; bound = outer_bound; body = main_body }
+              ParFor
+                { index = outer; bound = outer_bound; body = main_body;
+                  prov = l.prov }
+            else
+              For
+                { index = outer; bound = outer_bound; body = main_body;
+                  prov = l.prov }
           in
           let quotient = fold_expr (l.bound /: Int factor) in
           if statically_divisible then
@@ -149,6 +156,7 @@ let apply_split ?(ceil_mode = false) ~target ~factor ~inner ~outer body =
                   index = rem_index;
                   bound = fold_expr (l.bound -: base);
                   body = subst_var l.index (fold_expr (base +: Var rem_index)) l.body;
+                  prov = l.prov;
                 };
             ])
         body
@@ -171,15 +179,16 @@ let apply_parallelize target body =
 (* --- reorder / interchange -------------------------------------------------- *)
 
 (* Peel a perfect nest of the named loops starting at the outermost one;
-   returns (loops outermost-first, innermost body). *)
+   returns (loops outermost-first, innermost body). Each peeled loop keeps
+   its provenance so the rebuilt (reordered) nest stays source-attributed. *)
 let rec peel_nest names s =
   match s with
   | For l when List.mem l.index names -> (
       match l.body with
       | [ (For l' as inner) ] when List.mem l'.index names ->
           let loops, innermost = peel_nest names inner in
-          ((l.index, l.bound) :: loops, innermost)
-      | b -> ([ (l.index, l.bound) ], b))
+          ((l.index, (l.bound, l.prov)) :: loops, innermost)
+      | b -> ([ (l.index, (l.bound, l.prov)) ], b))
   | _ -> ([], [])
 
 let apply_reorder names body =
@@ -201,7 +210,7 @@ let apply_reorder names body =
                splits depend on their outer index). *)
             List.iteri
               (fun p n ->
-                let bound = List.assoc n loops in
+                let bound = fst (List.assoc n loops) in
                 List.iteri
                   (fun q n' ->
                     if q > p && expr_uses_var n' bound then
@@ -214,14 +223,20 @@ let apply_reorder names body =
                   names)
               names;
             applied := Some ();
-            let bound_of n = List.assoc n loops in
+            let bound_of n = fst (List.assoc n loops) in
+            let prov_of n = snd (List.assoc n loops) in
+            let last = List.nth names (List.length names - 1) in
             List.fold_left
-              (fun acc n -> For { index = n; bound = bound_of n; body = [ acc ] })
+              (fun acc n ->
+                For
+                  { index = n; bound = bound_of n; body = [ acc ];
+                    prov = prov_of n })
               (For
                  {
-                   index = List.nth names (List.length names - 1);
-                   bound = bound_of (List.nth names (List.length names - 1));
+                   index = last;
+                   bound = bound_of last;
                    body = innermost;
+                   prov = prov_of last;
                  })
               (List.rev (List.filteri (fun i _ -> i < List.length names - 1) names))
           end)
@@ -229,6 +244,7 @@ let apply_reorder names body =
       | ParFor l -> ParFor { l with body = List.map go l.body }
       | If (c, a, b) -> If (c, List.map go a, List.map go b)
       | While (c, b) -> While (c, List.map go b)
+      | Located (sp, b) -> Located (sp, List.map go b)
       | s -> s
     in
     match List.map go body with
@@ -427,6 +443,12 @@ let rec vec_stmt lane vec_vars (s : stmt) : stmt list * string list =
   | VecScatter _ -> nope "loop is already vectorized"
   | ParFor _ -> nope "parallel loop inside a vectorized loop"
   | Spawn _ | Sync -> nope "cilk constructs cannot be vectorized"
+  | Located (sp, b) ->
+      ( [
+          Located
+            (sp, List.concat_map (fun st -> fst (vec_stmt lane vec_vars st)) b);
+        ],
+        vec_vars )
 
 let apply_vectorize target body =
   let width = Runtime.Simd.default_width in
@@ -495,7 +517,7 @@ let hoist_splats (body : stmt list) : stmt list =
     | If (_, a, b) ->
         List.iter scan a;
         List.iter scan b
-    | While (_, b) | Block b -> List.iter scan b
+    | While (_, b) | Block b | Located (_, b) -> List.iter scan b
     | _ -> ()
   in
   List.iter scan body;
@@ -523,6 +545,7 @@ let hoist_splats (body : stmt list) : stmt list =
         let b = List.map go_stmt l.body in
         decr in_loop;
         ParFor { l with bound = go_expr l.bound; body = b }
+    | Located (sp, b) -> Located (sp, List.map go_stmt b)
     | s -> map_stmt go_expr_leafless Fun.id s
   and go_expr_leafless e = if !in_loop > 0 then go_expr_node e else e
   and go_expr_node = function

@@ -53,6 +53,9 @@ type t = {
           whole-function context for extension lowerings whose validity
           depends on later statements (e.g. the matrix extension's
           alias-safety analysis for slice-copy elimination) *)
+  warn : Support.Diag.t -> unit;
+      (** sink for non-fatal lowering diagnostics (e.g. a transform script
+          skipped because auto-parallelization changed the loop nest) *)
 }
 
 (** One extension's lowering contribution; [None] declines. *)
@@ -437,7 +440,13 @@ let rec lower_stmt t (st : Ast.stmt) : stmt list =
         | Some ss -> ss
         | None -> err span "no extension lowers this statement")
   in
-  stmts @ drain_pending t
+  (* Wrap the whole lowered statement (including temp releases) in a
+     provenance block.  [Located] is transparent to emission, scoping and
+     transformation matching, so this is observable only to the profiler
+     and the [#line] emitter. *)
+  match stmts @ drain_pending t with
+  | [] -> []
+  | ss -> [ Located (span, ss) ]
 
 and lower_block ?(is_loop = false) t body : stmt list =
   push_scope ~is_loop t;
@@ -464,6 +473,7 @@ and lower_assign t span (lhs : Ast.expr) (rhs : Ast.expr) : stmt list =
               index = i;
               bound = MSize (Var v);
               body = [ MSetFlat (Var v, Var i, er) ];
+              prov = Some span;
             };
         ]
   | Ast.Ident v ->
@@ -527,9 +537,13 @@ let lower_fundef t (f : Ast.fundef) : func =
       f.Ast.params;
   let body = List.concat_map (lower_stmt t) f.Ast.body in
   let release = pop_scope t in
-  let needs_trailing_release =
-    match List.rev body with Return _ :: _ -> false | _ -> true
+  let rec ends_with_return ss =
+    match List.rev ss with
+    | Return _ :: _ -> true
+    | Located (_, b) :: _ -> ends_with_return b
+    | _ -> false
   in
+  let needs_trailing_release = not (ends_with_return body) in
   {
     f_name = f.Ast.fname;
     f_params =
@@ -545,7 +559,8 @@ let lower_fundef t (f : Ast.fundef) : func =
     [fuse]/[copy_elim] control the §III-A5 optimizations (on by default;
     the benchmarks flip them to measure their effect). *)
 let lower_program ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
-    (hooks : hooks list) ~(rc : bool) (prog : Ast.program) : program =
+    ?(warn = fun _ -> ()) (hooks : hooks list) ~(rc : bool)
+    (prog : Ast.program) : program =
   let t =
     {
       gensym = Support.Gensym.create ();
@@ -560,6 +575,7 @@ let lower_program ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
       auto_par;
       extra_funcs = [];
       cur_body = [];
+      warn;
     }
   in
   List.iter

@@ -248,12 +248,14 @@ let frontend ?(optimize = true) (c : composed) (src : string) :
           in
           if Support.Diag.has_errors diags then Failed diags else Ok_ ast)
 
-(** [lower c ast] — translate to the plain-C IR. *)
-let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
+(** [lower c ast] — translate to the plain-C IR.  [warn] receives
+    non-fatal lowering diagnostics (e.g. transform scripts skipped under
+    auto-parallelization). *)
+let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false) ?warn
     (c : composed) (ast : Cminus.Ast.program) : Cir.Ir.program outcome =
   match
     Tel.with_span ~phase:"lower" "driver.lower" (fun () ->
-        Cminus.Lower.lower_program ~fuse ~copy_elim ~auto_par
+        Cminus.Lower.lower_program ~fuse ~copy_elim ~auto_par ?warn
           (List.map (fun x -> x.lower_hooks) c.selected)
           ~rc:c.rc ast)
   with
@@ -262,23 +264,25 @@ let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
       Failed [ Support.Diag.error ~phase:"lower" ~span "%s" m ]
 
 (** [compile_to_c c src] — the paper's headline artifact: extended C in,
-    plain parallel C out. *)
-let compile_to_c ?fuse ?copy_elim ?auto_par (c : composed) (src : string) :
-    string outcome =
+    plain parallel C out.  [line_file] turns on [#line] directives naming
+    that file, so C-level debuggers and profilers point back at the
+    original source. *)
+let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file (c : composed)
+    (src : string) : string outcome =
   match frontend c src with
   | Failed d -> Failed d
   | Ok_ ast -> (
-      match lower ?fuse ?copy_elim ?auto_par c ast with
+      match lower ?fuse ?copy_elim ?auto_par ?warn c ast with
       | Failed d -> Failed d
       | Ok_ prog ->
           Ok_
             (Tel.with_span ~phase:"emit" "driver.emit" (fun () ->
-                 Cir.Emit.program prog)))
+                 Cir.Emit.program ?line_directives_file:line_file prog)))
 
 (** [run c src args] — compile and execute on the parallel runtime.
     [pool] supplies the enhanced fork-join worker pool; [dir] hosts the
     program's matrix files. *)
-let run ?fuse ?copy_elim ?auto_par ?pool ?dir ?(optimize = true)
+let run ?fuse ?copy_elim ?auto_par ?warn ?pool ?dir ?(optimize = true)
     (c : composed) (src : string) (args : Interp.Eval.value list) :
     Interp.Eval.value outcome =
   Option.iter
@@ -288,14 +292,23 @@ let run ?fuse ?copy_elim ?auto_par ?pool ?dir ?(optimize = true)
   match frontend ~optimize c src with
   | Failed d -> Failed d
   | Ok_ ast -> (
-      match lower ?fuse ?copy_elim ?auto_par c ast with
+      match lower ?fuse ?copy_elim ?auto_par ?warn c ast with
       | Failed d -> Failed d
       | Ok_ prog -> (
           match
             Tel.with_span ~phase:"run" "driver.run" (fun () ->
                 Interp.Eval.run ?pool ?dir prog args)
           with
-          | v -> Ok_ v
+          | v ->
+              (* Memory gauges: what the program's RC discipline left
+                 behind and how high the live set got. *)
+              Tel.set_gauge "rc.live_bytes"
+                (float_of_int (Runtime.Rc.live_bytes ()));
+              Tel.set_gauge "rc.peak_bytes"
+                (float_of_int (Runtime.Rc.peak_bytes ()));
+              Tel.set_gauge "rc.allocated_bytes"
+                (float_of_int (Runtime.Rc.allocated_bytes ()));
+              Ok_ v
           | exception Interp.Eval.Interp_error m ->
               Failed
                 [
@@ -303,4 +316,188 @@ let run ?fuse ?copy_elim ?auto_par ?pool ?dir ?(optimize = true)
                     "%s" m;
                 ]))
 
-let diags_to_string ds = Fmt.str "%a" Support.Diag.pp_list ds
+(** [diags_to_string ?src ds] — rendered diagnostics; with [src] each one
+    gains a clang-style source excerpt with a caret underline. *)
+let diags_to_string ?src ds =
+  match src with
+  | None -> Fmt.str "%a" Support.Diag.pp_list ds
+  | Some src -> Fmt.str "%a" (Support.Diag.pp_list_with_source src) ds
+
+(* --- source-attributed profiling (mmc profile) ------------------------- *)
+
+module Profile_report = struct
+  module P = Support.Profile
+
+  type t = {
+    wall_ns : int;
+    rows : P.row list;
+    attributed_ns : int;
+    unattributed_alloc : int;
+    live_bytes : int;
+    peak_bytes : int;
+    allocated_bytes : int;
+  }
+
+  (** Snapshot the profiler's aggregates after a run measured at
+      [wall_ns]. *)
+  let collect ~wall_ns () =
+    {
+      wall_ns;
+      rows = P.results ();
+      attributed_ns = P.attributed_ns ();
+      unattributed_alloc = P.unattributed_alloc_bytes ();
+      live_bytes = Runtime.Rc.live_bytes ();
+      peak_bytes = Runtime.Rc.peak_bytes ();
+      allocated_bytes = Runtime.Rc.allocated_bytes ();
+    }
+
+  let coverage t =
+    if t.wall_ns <= 0 then 1.0
+    else float_of_int t.attributed_ns /. float_of_int t.wall_ns
+
+  (* First source line of the span, trimmed and clipped — the "what the
+     user wrote" column of the hot-loop table. *)
+  let excerpt ~src (sp : Support.Pos.span) =
+    match Support.Diag.source_line src sp.Support.Pos.left.Support.Pos.line with
+    | None -> ""
+    | Some line ->
+        let line = String.trim line in
+        if String.length line > 42 then String.sub line 0 39 ^ "..."
+        else line
+
+  let pct t ns =
+    if t.wall_ns <= 0 then 0.
+    else 100. *. float_of_int ns /. float_of_int t.wall_ns
+
+  let human_bytes b =
+    if b >= 1 lsl 20 then Printf.sprintf "%.1fM" (float_of_int b /. 1048576.)
+    else if b >= 1024 then Printf.sprintf "%.1fK" (float_of_int b /. 1024.)
+    else string_of_int b
+
+  let ms ns = float_of_int ns /. 1e6
+
+  (** Hot-loop table sorted by self time, plus memory summary lines. *)
+  let pp ?(top = 15) ~src ppf t =
+    Fmt.pf ppf "--- profile: hot source spans (%.3f ms wall) ---@." (ms t.wall_ns);
+    Fmt.pf ppf "  %-12s %6s %10s %10s %8s %8s %9s  %s@." "span" "self%"
+      "self ms" "total ms" "iters" "disp" "alloc" "source";
+    let rows = List.filteri (fun i _ -> i < top) t.rows in
+    List.iter
+      (fun (r : P.row) ->
+        Fmt.pf ppf "  %-12s %6.1f %10.3f %10.3f %8d %8d %9s  %s@."
+          (Support.Pos.span_to_string r.P.r_span)
+          (pct t r.P.r_self_ns) (ms r.P.r_self_ns) (ms r.P.r_total_ns)
+          r.P.r_iters r.P.r_dispatches
+          (human_bytes r.P.r_alloc_bytes)
+          (excerpt ~src r.P.r_span))
+      rows;
+    (let dropped = List.length t.rows - List.length rows in
+     if dropped > 0 then Fmt.pf ppf "  ... %d more spans@." dropped);
+    Fmt.pf ppf "  attributed: %.1f%% of wall time@." (100. *. coverage t);
+    let par = List.fold_left (fun a (r : P.row) -> a + r.P.r_par_ns) 0 t.rows in
+    let seq = List.fold_left (fun a (r : P.row) -> a + r.P.r_seq_ns) 0 t.rows in
+    Fmt.pf ppf "  par/seq self time: %.3f / %.3f ms@." (ms par) (ms seq);
+    Fmt.pf ppf
+      "  memory: %s allocated, %s peak live, %s still live, %s unattributed@."
+      (human_bytes t.allocated_bytes)
+      (human_bytes t.peak_bytes) (human_bytes t.live_bytes)
+      (human_bytes t.unattributed_alloc)
+
+  let to_string ?top ~src t = Fmt.str "%a" (pp ?top ~src) t
+
+  (** Machine-readable snapshot; schema checked by [bench
+      --check-profile-json]. *)
+  let to_json ~src t =
+    let j = Tel.json_string in
+    let row (r : P.row) =
+      Tel.json_obj
+        [
+          ("span", j (Support.Pos.span_to_string r.P.r_span));
+          ("line", string_of_int r.P.r_span.Support.Pos.left.Support.Pos.line);
+          ("source", j (excerpt ~src r.P.r_span));
+          ("total_ns", string_of_int r.P.r_total_ns);
+          ("self_ns", string_of_int r.P.r_self_ns);
+          ("pct", Printf.sprintf "%.3f" (pct t r.P.r_self_ns));
+          ("iters", string_of_int r.P.r_iters);
+          ("dispatches", string_of_int r.P.r_dispatches);
+          ("par_ns", string_of_int r.P.r_par_ns);
+          ("seq_ns", string_of_int r.P.r_seq_ns);
+          ("alloc_bytes", string_of_int r.P.r_alloc_bytes);
+          ( "workers",
+            Tel.json_obj
+              (List.map
+                 (fun (w, ns) -> (string_of_int w, string_of_int ns))
+                 (List.sort compare r.P.r_worker_ns)) );
+        ]
+    in
+    Tel.json_obj
+      [
+        ("wall_ns", string_of_int t.wall_ns);
+        ("attributed_ns", string_of_int t.attributed_ns);
+        ("coverage", Printf.sprintf "%.4f" (coverage t));
+        ("rows", "[" ^ String.concat "," (List.map row t.rows) ^ "]");
+        ( "memory",
+          Tel.json_obj
+            [
+              ("allocated_bytes", string_of_int t.allocated_bytes);
+              ("peak_bytes", string_of_int t.peak_bytes);
+              ("live_bytes", string_of_int t.live_bytes);
+              ("unattributed_alloc_bytes", string_of_int t.unattributed_alloc);
+            ] );
+      ]
+
+  (** Folded-stack lines ("outer;inner self_ns") for flamegraph tools. *)
+  let folded_lines () =
+    List.map (fun (path, ns) -> Printf.sprintf "%s %d" path ns) (P.folded ())
+end
+
+(** [profile ?… c src args] — run [src] with the source-attributed
+    profiler enabled and return (program result outcome, report).  The
+    profiler and RC registry are reset first so the report covers exactly
+    this run, and the wall clock starts after lowering so the report's
+    coverage measures execution, not compilation. *)
+let profile ?fuse ?copy_elim ?(auto_par = true) ?warn ?pool ?dir
+    (c : composed) (src : string) (args : Interp.Eval.value list) :
+    Interp.Eval.value outcome * Profile_report.t =
+  Option.iter
+    (fun p ->
+      Tel.set_gauge "pool.threads" (float_of_int (Runtime.Pool.threads p)))
+    pool;
+  let prep =
+    match frontend c src with
+    | Failed d -> Failed d
+    | Ok_ ast -> lower ?fuse ?copy_elim ~auto_par ?warn c ast
+  in
+  match prep with
+  | Failed d -> (Failed d, Profile_report.collect ~wall_ns:0 ())
+  | Ok_ prog -> (
+      Support.Profile.reset ();
+      Support.Profile.set_enabled true;
+      Runtime.Rc.reset ();
+      let prev_hook = !Runtime.Ndarray.alloc_hook in
+      Runtime.Ndarray.alloc_hook := Some Support.Profile.on_alloc;
+      let t0 = Tel.now_ns () in
+      let finish () =
+        let wall_ns = Tel.now_ns () - t0 in
+        Support.Profile.set_enabled false;
+        Runtime.Ndarray.alloc_hook := prev_hook;
+        Tel.set_gauge "rc.live_bytes" (float_of_int (Runtime.Rc.live_bytes ()));
+        Tel.set_gauge "rc.peak_bytes" (float_of_int (Runtime.Rc.peak_bytes ()));
+        Profile_report.collect ~wall_ns ()
+      in
+      match
+        Tel.with_span ~phase:"run" "driver.profile_run" (fun () ->
+            Interp.Eval.run ?pool ?dir prog args)
+      with
+      | v -> (Ok_ v, finish ())
+      | exception Interp.Eval.Interp_error m ->
+          let report = finish () in
+          ( Failed
+              [
+                Support.Diag.error ~phase:"run" ~span:Support.Pos.dummy_span
+                  "%s" m;
+              ],
+            report )
+      | exception e ->
+          ignore (finish ());
+          raise e)

@@ -74,7 +74,7 @@ let conv ~(from : Nd.elem) ~(to_ : Nd.elem) e =
      r[i] = op(load a, load b).  [load] gets the flat index var.
    Each flat index writes exactly one output element, so under
    auto-parallelization the loop becomes a ParFor region (§III-C). *)
-let ew_loop t ~(model : string) ~(rank : int) ~(out_elem : Nd.elem)
+let ew_loop t ~span ~(model : string) ~(rank : int) ~(out_elem : Nd.elem)
     ~(body : expr -> expr) : stmt list * expr =
   let r = L.fresh t "ew" and i = L.fresh t "i" in
   let alloc = MAlloc (out_elem, dims_of model rank) in
@@ -83,6 +83,7 @@ let ew_loop t ~(model : string) ~(rank : int) ~(out_elem : Nd.elem)
       index = i;
       bound = MSize (Var model);
       body = [ MSetFlat (Var r, Var i, body (Var i)) ];
+      prov = Some span;
     }
   in
   let stmts =
@@ -125,6 +126,7 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
                 index = i;
                 bound = Var n;
                 body = [ MSetFlat (Var r, Var i, ea +: Var i) ];
+                prov = Some span;
               };
           ]
       in
@@ -149,6 +151,7 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
             {
               index = l;
               bound = k;
+              prov = Some span;
               body =
                 [
                   Assign
@@ -167,7 +170,12 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
          parallelises under auto-par (§III-C) — the interpreter's analogue
          of dispatching matmul row blocks to the pool. *)
       let row_loop =
-        { index = i; bound = m; body = [ For { index = j; bound = n; body } ] }
+        {
+          index = i;
+          bound = m;
+          body = [ For { index = j; bound = n; body; prov = Some span } ];
+          prov = Some span;
+        }
       in
       let stmts =
         sa @ sb
@@ -185,7 +193,7 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
       let sb, vb = lower_mat t b in
       let arith_elem = match rty with T.TMat (e, _) -> e | _ -> e1 in
       let s, v =
-        ew_loop t ~model:va ~rank:r1 ~out_elem ~body:(fun i ->
+        ew_loop t ~span ~model:va ~rank:r1 ~out_elem ~body:(fun i ->
             let load_conv m from =
               match op with
               | A.BArith _ | A.BExt _ ->
@@ -208,7 +216,7 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
         | _ -> eb
       in
       let s, v =
-        ew_loop t ~model:va ~rank:r1 ~out_elem ~body:(fun i ->
+        ew_loop t ~span ~model:va ~rank:r1 ~out_elem ~body:(fun i ->
             Binop
               ( cir_binop op,
                 conv ~from:e1 ~to_:arith_elem (MGetFlat (Var va, i)),
@@ -227,7 +235,7 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
         | _ -> ea
       in
       let s, v =
-        ew_loop t ~model:vb ~rank:r1 ~out_elem ~body:(fun i ->
+        ew_loop t ~span ~model:vb ~rank:r1 ~out_elem ~body:(fun i ->
             Binop
               ( cir_binop op,
                 scalar_conv,
@@ -236,14 +244,14 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
       Some (sa @ sb @ s, v)
   | _ -> None
 
-let h_unop t (op : A.unop) (a : A.expr) (rty : T.ty) _span :
+let h_unop t (op : A.unop) (a : A.expr) (rty : T.ty) span :
     (stmt list * expr) option =
   match ety a with
   | T.TMat (e1, r1) ->
       let out_elem = match rty with T.TMat (e, _) -> e | _ -> e1 in
       let sa, va = lower_mat t a in
       let s, v =
-        ew_loop t ~model:va ~rank:r1 ~out_elem ~body:(fun i ->
+        ew_loop t ~span ~model:va ~rank:r1 ~out_elem ~body:(fun i ->
             match op with
             | A.UNeg -> Unop (Neg, MGetFlat (Var va, i))
             | A.UNot -> Unop (Not, MGetFlat (Var va, i)))
@@ -290,6 +298,7 @@ let lower_index t (base : string) (base_ty : T.ty) (d : int) (ix : A.index) :
                 {
                   index = i;
                   bound = MSize (Var mask);
+                  prov = Some e.A.espan;
                   body =
                     [
                       If
@@ -304,6 +313,7 @@ let lower_index t (base : string) (base_ty : T.ty) (d : int) (ix : A.index) :
                 {
                   index = i;
                   bound = MSize (Var mask);
+                  prov = Some e.A.espan;
                   body =
                     [
                       If
@@ -621,7 +631,8 @@ let h_subscript t (base : A.expr) (indices : A.index list) (rty : T.ty) span :
         let inner = [ MSetFlat (Var r, dst_off, MGetFlat (Var vb, src_off)) ] in
         let loops =
           List.fold_right2
-            (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+            (fun v ext acc ->
+              [ For { index = v; bound = ext; body = acc; prov = Some span } ])
             out_vars extents inner
         in
         let stmts =
@@ -693,7 +704,8 @@ let h_subscript_assign t (base : A.expr) (indices : A.index list)
             let inner = [ MSetFlat (Var vb, dst_off, er) ] in
             let loops =
               List.fold_right2
-                (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+                (fun v ext acc ->
+              [ For { index = v; bound = ext; body = acc; prov = Some span } ])
                 out_vars extents inner
             in
             Some (sb @ si @ sr @ loops)
@@ -712,7 +724,8 @@ let h_subscript_assign t (base : A.expr) (indices : A.index list)
             in
             let loops =
               List.fold_right2
-                (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+                (fun v ext acc ->
+              [ For { index = v; bound = ext; body = acc; prov = Some span } ])
                 out_vars extents inner
             in
             Some (sb @ si @ sr @ loops)
@@ -772,18 +785,18 @@ let lower_generator t (gen : Nodes.generator) :
 
 (* Wrap [inner] in the generator loop nest; the outermost loop becomes a
    ParFor under auto-parallelization (§III-C). *)
-let build_nest t loops inner =
+let build_nest ?prov t loops inner =
   let rec go = function
     | [] -> inner
     | (v, count, binds) :: rest ->
-        [ For { index = v; bound = count; body = binds @ go rest } ]
+        [ For { index = v; bound = count; body = binds @ go rest; prov } ]
   in
   match go loops with
   | [ For l ] when t.L.auto_par -> [ ParFor l ]
   | nest -> nest
 
 let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
-    _span : stmt list * expr =
+    span : stmt list * expr =
   let prelude, loops, actual = lower_generator t gen in
   match op with
   | Nodes.OGenarray (shape, body) ->
@@ -806,7 +819,7 @@ let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
         | _ -> ebody
       in
       let inner = sbody @ [ MSetFlat (Var r, flat_offset eshape actual, ebody) ] in
-      let nest = build_nest t loops inner in
+      let nest = build_nest ~prov:span t loops inner in
       let stmts =
         prelude @ sshape
         @ (Decl (CMat (out_elem, out_rank), r, Some (MAlloc (out_elem, eshape)))
@@ -836,6 +849,7 @@ let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
                 index = i;
                 bound = MSize (Var r);
                 body = [ MSetFlat (Var cpy, Var i, MGetFlat (Var r, Var i)) ];
+                prov = Some span;
               };
           ]
           @ L.rc_dec t (Var r)
@@ -879,7 +893,7 @@ let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
       (* folds stay sequential inside each genarray element (Fig 3) *)
       let saved = t.L.auto_par in
       t.L.auto_par <- false;
-      let nest = build_nest t loops inner in
+      let nest = build_nest ~prov:span t loops inner in
       t.L.auto_par <- saved;
       ( prelude @ sbase @ (Decl (acc_ty, acc, Some ebase) :: nest),
         Var acc )
@@ -927,14 +941,16 @@ let lower_matrix_map t (fname : string) (marg : A.expr) (dims : int list)
     in
     let extract =
       List.fold_right2
-        (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+        (fun v ext acc ->
+              [ For { index = v; bound = ext; body = acc; prov = Some span } ])
         ovars slice_extents
         [ MSetFlat (Var slice, slice_off, MGetFlat (Var m, src_off)) ]
     in
     let outv = L.fresh t "out" in
     let writeback =
       List.fold_right2
-        (fun v ext acc -> [ For { index = v; bound = ext; body = acc } ])
+        (fun v ext acc ->
+              [ For { index = v; bound = ext; body = acc; prov = Some span } ])
         ovars slice_extents
         [ MSetFlat (Var out, src_off, MGetFlat (Var outv, slice_off)) ]
     in
@@ -975,6 +991,7 @@ let lower_matrix_map t (fname : string) (marg : A.expr) (dims : int list)
       index = tt;
       bound = Var total;
       body = [ ExprS (Call (lifted, [ Var vm; Var r; Var tt ])) ];
+      prov = Some span;
     }
   in
   let stmts =

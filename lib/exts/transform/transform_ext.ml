@@ -185,6 +185,15 @@ let check_hooks : Cminus.Check.hooks =
 
 (* --- lowering: apply the script to this statement's generated loops ------------------- *)
 
+(* Demote every ParFor back to a plain For (recursively).  Used only to
+   decide whether a script that failed to bind would have bound against
+   the sequential nest — i.e. whether auto-parallelization is what broke
+   it. *)
+let demote_parfors stmts =
+  Cir.Ir.map_stmts Fun.id
+    (function Cir.Ir.ParFor l -> Cir.Ir.For l | s -> s)
+    stmts
+
 let lower_hooks : Cminus.Lower.hooks =
   {
     (Cminus.Lower.no_hooks name) with
@@ -195,9 +204,31 @@ let lower_hooks : Cminus.Lower.hooks =
             let stmts = Cminus.Lower.lower_assign t span lhs rhs in
             match T.apply_all ts stmts with
             | Ok stmts' -> Some (Cir.Ir.fold_deep stmts')
-            | Error msg ->
-                (* the §V error check: indices must name generated loops *)
-                Cminus.Lower.err span "%s" msg)
+            | Error msg -> (
+                (* The §V error check: indices must name generated loops.
+                   But if the script binds against a For-demoted copy of
+                   the nest, the programmer's indices were fine — it is
+                   auto-parallelization's ParFor header that broke the
+                   pattern (tile/interchange need a perfect For nest).
+                   That is a scheduling conflict, not a user error: keep
+                   the auto-parallelized, untransformed loops and say so
+                   with a warning instead of failing the build. *)
+                match
+                  if t.Cminus.Lower.auto_par then
+                    T.apply_all ts (demote_parfors stmts)
+                  else Error msg
+                with
+                | Ok _ ->
+                    t.Cminus.Lower.warn
+                      (Support.Diag.warning ~phase:"transform" ~span
+                         "transformation script skipped: \
+                          auto-parallelization replaced this statement's \
+                          for-nest with a parallel loop the script cannot \
+                          bind to (%s); keeping the auto-parallelized \
+                          loops untransformed"
+                         msg);
+                    Some (Cir.Ir.fold_deep stmts)
+                | Error _ -> Cminus.Lower.err span "%s" msg))
         | _ -> None);
   }
 

@@ -272,36 +272,74 @@ and exec (ctx : ctx) (env : env) (s : stmt) : unit =
           try exec_block ctx env b with Continue_exc -> ()
         done
       with Break_exc -> ())
-  | For l -> (
+  | For l ->
       let bound = int_of (eval ctx env l.bound) in
-      try
-        for i = 0 to bound - 1 do
-          let inner = new_env ~parent:env () in
-          declare inner l.index (VScal (S.I i));
-          try exec_block ctx inner l.body with Continue_exc -> ()
-        done
-      with Break_exc -> ())
-  | ParFor l -> (
-      Support.Telemetry.bump c_parfor;
-      let bound = int_of (eval ctx env l.bound) in
-      match ctx.pool with
-      | None ->
+      let body () =
+        try
           for i = 0 to bound - 1 do
             let inner = new_env ~parent:env () in
             declare inner l.index (VScal (S.I i));
-            exec_block ctx inner l.body
+            try exec_block ctx inner l.body with Continue_exc -> ()
           done
-      | Some pool ->
-          (* The with-loop generator guarantees disjoint index sets, so
-             iterations write disjoint elements (§III-A4).  Guided chunking
-             load-balances bodies of uneven cost (matrixMap over slices,
-             conncomp frames); the pool re-raises the first body exception
-             at the stop barrier with its backtrace. *)
-          Runtime.Pool.parallel_for ~chunking:Runtime.Pool.Guided pool 0 bound
-            (fun i ->
+        with Break_exc -> ()
+      in
+      (* Inside a parallel region the dispatching ParFor row owns the
+         time (workers would otherwise multiply-count wall clock and
+         contend on the profiler mutex every iteration). *)
+      if
+        Support.Profile.is_enabled ()
+        && l.prov <> None
+        && not (Support.Profile.in_region ())
+      then begin
+        Support.Profile.enter (Option.get l.prov);
+        Fun.protect
+          ~finally:(fun () -> Support.Profile.exit_ ~iters:bound ())
+          body
+      end
+      else body ()
+  | ParFor l ->
+      Support.Telemetry.bump c_parfor;
+      let bound = int_of (eval ctx env l.bound) in
+      let body () =
+        match ctx.pool with
+        | None ->
+            for i = 0 to bound - 1 do
               let inner = new_env ~parent:env () in
               declare inner l.index (VScal (S.I i));
-              exec_block ctx inner l.body))
+              exec_block ctx inner l.body
+            done
+        | Some pool ->
+            (* The with-loop generator guarantees disjoint index sets, so
+               iterations write disjoint elements (§III-A4).  Guided chunking
+               load-balances bodies of uneven cost (matrixMap over slices,
+               conncomp frames); the pool re-raises the first body exception
+               at the stop barrier with its backtrace. *)
+            Runtime.Pool.parallel_for ~chunking:Runtime.Pool.Guided pool 0
+              bound (fun i ->
+                let inner = new_env ~parent:env () in
+                declare inner l.index (VScal (S.I i));
+                exec_block ctx inner l.body)
+      in
+      if
+        Support.Profile.is_enabled ()
+        && l.prov <> None
+        && not (Support.Profile.in_region ())
+      then begin
+        let sp = Option.get l.prov in
+        let dispatched = ctx.pool <> None in
+        Support.Telemetry.with_span ~phase:"interp"
+          ~args:[ ("prov", Support.Pos.span_to_string sp) ]
+          "parfor" (fun () ->
+            Support.Profile.enter sp;
+            if dispatched then Support.Profile.open_region sp;
+            Fun.protect
+              ~finally:(fun () ->
+                Support.Profile.exit_ ~iters:bound
+                  ~dispatches:(if dispatched then 1 else 0)
+                  ~par:dispatched ())
+              body)
+      end
+      else body ()
   | ExprS e -> ignore (eval ctx env e)
   | Return None -> raise (Return_exc VUnit)
   | Return (Some e) -> raise (Return_exc (eval ctx env e))
@@ -329,6 +367,23 @@ and exec (ctx : ctx) (env : env) (s : stmt) : unit =
       let root = root_env env in
       root.cilk_spawned <- { s_dom = dom; s_target = target } :: root.cilk_spawned
   | Sync -> sync (root_env env)
+  | Located (sp, b) ->
+      (* Provenance block, not a scope: the statements run in the current
+         environment.  Timed only for top-level straight-line code (empty
+         frame stack, no active parallel region) — loops are the
+         aggregation grain everywhere else, so per-statement clock reads
+         stay out of hot bodies. *)
+      if
+        Support.Profile.is_enabled ()
+        && Support.Profile.depth () = 0
+        && not (Support.Profile.in_region ())
+      then begin
+        Support.Profile.enter sp;
+        Fun.protect
+          ~finally:(fun () -> Support.Profile.exit_ ())
+          (fun () -> List.iter (exec ctx env) b)
+      end
+      else List.iter (exec ctx env) b
 
 and sync root =
   (* join in spawn order; propagate the first child exception *)

@@ -105,6 +105,12 @@ let dim_size m d =
       (Shape.to_string m.shape)
   else m.shape.(d)
 
+(** Observation hook fired on every {!create} with the payload size in
+    bytes (4 per element, matching the RC registry's accounting).  The
+    profiler installs itself here to attribute allocation traffic to the
+    source span being executed; [None] costs one load per allocation. *)
+let alloc_hook : (int -> unit) option ref = ref None
+
 (** [create e shape] — zero/false-initialised matrix: the [init] builtin. *)
 let create e sh =
   let n = Shape.size sh in
@@ -114,6 +120,7 @@ let create e sh =
     | EInt -> I (Array.make n 0)
     | EBool -> B (Array.make n false)
   in
+  (match !alloc_hook with Some f -> f (n * 4) | None -> ());
   { shape = Array.copy sh; buf }
 
 let init_float sh f =

@@ -80,10 +80,15 @@ let run_share pool idx fn =
       Support.Telemetry.bump c_exceptions;
       ignore (Atomic.compare_and_set pool.failure None (Some (e, bt)))
   in
-  if Support.Telemetry.on () then begin
+  if Support.Telemetry.on () || Support.Profile.is_enabled () then begin
     let t0 = Support.Telemetry.now_ns () in
     exec ();
-    Support.Telemetry.add pool.busy.(idx) (Support.Telemetry.now_ns () - t0)
+    let busy = Support.Telemetry.now_ns () - t0 in
+    Support.Telemetry.add pool.busy.(idx) busy;
+    (* Source attribution: charge this share's wall-clock to the ParFor
+       region (if any) the profiler has open. *)
+    if Support.Profile.is_enabled () then
+      Support.Profile.worker_busy ~worker:idx busy
   end
   else exec ()
 

@@ -28,6 +28,13 @@ let next_id = ref 0
 let total_allocs = ref 0
 let total_frees = ref 0
 
+(* Byte gauges, maintained incrementally under the registry mutex so the
+   high-water mark is exact (a fold over [live] after the fact could never
+   recover the peak). *)
+let cur_bytes = ref 0
+let max_bytes = ref 0
+let total_bytes = ref 0
+
 let with_registry f =
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
@@ -47,6 +54,9 @@ let alloc ?(bytes = 0) payload =
       incr next_id;
       incr total_allocs;
       Hashtbl.replace live id bytes;
+      cur_bytes := !cur_bytes + bytes;
+      total_bytes := !total_bytes + bytes;
+      if !cur_bytes > !max_bytes then max_bytes := !cur_bytes;
       { count = 1; payload = Some payload; id; bytes })
 
 (** [get cell] — dereference; raises {!Use_after_free} on a dead cell. *)
@@ -74,6 +84,8 @@ let decr_ cell =
         cell.payload <- None;
         incr total_frees;
         Support.Telemetry.bump c_frees;
+        if Hashtbl.mem live cell.id then
+          cur_bytes := !cur_bytes - cell.bytes;
         Hashtbl.remove live cell.id
       end)
 
@@ -86,6 +98,12 @@ let live_count () = with_registry (fun () -> Hashtbl.length live)
 
 let live_bytes () =
   with_registry (fun () -> Hashtbl.fold (fun _ b acc -> acc + b) live 0)
+
+(** High-water mark of live payload bytes since the last {!reset}. *)
+let peak_bytes () = with_registry (fun () -> !max_bytes)
+
+(** Total payload bytes ever allocated since the last {!reset}. *)
+let allocated_bytes () = with_registry (fun () -> !total_bytes)
 
 type stats = { allocs : int; frees : int; live : int }
 
@@ -103,4 +121,7 @@ let reset () =
   with_registry (fun () ->
       Hashtbl.reset live;
       total_allocs := 0;
-      total_frees := 0)
+      total_frees := 0;
+      cur_bytes := 0;
+      max_bytes := 0;
+      total_bytes := 0)

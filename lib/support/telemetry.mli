@@ -66,13 +66,17 @@ type span = {
   sp_depth : int;  (** nesting depth within that domain, 0 = outermost *)
   sp_start : float;  (** seconds since telemetry epoch *)
   sp_dur : float;  (** seconds *)
+  sp_args : (string * string) list;
+      (** extra key/value payload (e.g. source provenance), carried into
+          the Chrome-trace ["args"] object *)
 }
 
-val with_span : ?phase:string -> string -> (unit -> 'a) -> 'a
-(** [with_span ~phase name f] — run [f], recording its wall-clock duration
-    as a span when telemetry is enabled.  Spans nest: the depth is tracked
-    per domain.  The span is recorded even if [f] raises.  When disabled,
-    [with_span] is just [f ()]. *)
+val with_span :
+  ?phase:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span ~phase ~args name f] — run [f], recording its wall-clock
+    duration as a span when telemetry is enabled.  Spans nest: the depth is
+    tracked per domain.  The span is recorded even if [f] raises.  When
+    disabled, [with_span] is just [f ()]. *)
 
 (** {1 Inspection} *)
 
@@ -92,6 +96,15 @@ val span_totals : unit -> (string * int * float) list
     time descending. *)
 
 (** {1 Exporters} *)
+
+val json_string : string -> string
+(** JSON-escape and quote a string.  Shared with other modules emitting
+    hand-rolled JSON (the profiler report), so all exports escape
+    identically. *)
+
+val json_obj : (string * string) list -> string
+(** [json_obj fields] — a JSON object from already-rendered value
+    strings; keys are escaped with {!json_string}. *)
 
 val pp_summary : Format.formatter -> unit -> unit
 (** Human-readable table: span aggregates, non-zero counters, gauges. *)

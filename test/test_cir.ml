@@ -25,17 +25,14 @@ let mean_body ~par =
     [
       Decl (CFloat, "acc", Some (Float 0.));
       For
-        {
-          index = "k";
-          bound = p;
-          body =
-            [ Assign (LVar "acc", Var "acc" +: MGetFlat (Var "mat", off_mat)) ];
-        };
+        (mk_loop ~index:"k" ~bound:p
+           [ Assign (LVar "acc", Var "acc" +: MGetFlat (Var "mat", off_mat)) ]);
       MSetFlat (Var "means", off_means, Var "acc" /: Unop (FloatOfInt, p));
     ]
   in
   let iloop =
-    { index = "i"; bound = m; body = [ For { index = "j"; bound = n; body = jbody } ] }
+    mk_loop ~index:"i" ~bound:m
+      [ For (mk_loop ~index:"j" ~bound:n jbody) ]
   in
   [
     Decl (CMat (Nd.EFloat, 2), "means", Some (MAlloc (Nd.EFloat, [ m; n ])));

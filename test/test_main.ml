@@ -12,4 +12,5 @@ let () =
       ("programs", Test_programs.suite);
       ("telemetry", Test_telemetry.suite);
       ("kernels", Test_kernels.suite);
+      ("profile", Test_profile.suite);
     ]

@@ -10,162 +10,13 @@ let with_telemetry f =
   T.set_enabled true;
   Fun.protect ~finally:(fun () -> T.set_enabled false) f
 
-(* --- a minimal JSON parser (no JSON library in the switch) ------------------- *)
+(* JSON parsing comes from Support.Json (shared with the bench harness's
+   baseline comparison and profile-schema checks). *)
 
-type json =
-  | JNull
-  | JBool of bool
-  | JNum of float
-  | JStr of string
-  | JArr of json list
-  | JObj of (string * json) list
+module J = Support.Json
 
-exception Bad_json of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let fail m = raise (Bad_json (Printf.sprintf "%s at offset %d" m !pos)) in
-  let skip_ws () =
-    while
-      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    if peek () = Some c then incr pos
-    else fail (Printf.sprintf "expected %C" c)
-  in
-  let lit word v =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string"
-      else
-        match s.[!pos] with
-        | '"' -> incr pos
-        | '\\' ->
-            incr pos;
-            (if !pos >= n then fail "dangling escape"
-             else
-               match s.[!pos] with
-               | '"' -> Buffer.add_char b '"'
-               | '\\' -> Buffer.add_char b '\\'
-               | '/' -> Buffer.add_char b '/'
-               | 'n' -> Buffer.add_char b '\n'
-               | 't' -> Buffer.add_char b '\t'
-               | 'r' -> Buffer.add_char b '\r'
-               | 'b' -> Buffer.add_char b '\b'
-               | 'f' -> Buffer.add_char b '\012'
-               | 'u' ->
-                   if !pos + 4 >= n then fail "short \\u escape";
-                   (* keep the raw escape; we only check well-formedness *)
-                   Buffer.add_string b (String.sub s (!pos - 1) 6);
-                   pos := !pos + 4
-               | c -> fail (Printf.sprintf "bad escape %C" c));
-            incr pos;
-            go ()
-        | c ->
-            Buffer.add_char b c;
-            incr pos;
-            go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    while
-      !pos < n
-      && (match s.[!pos] with
-         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-         | _ -> false)
-    do
-      incr pos
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> JNum f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> JStr (parse_string ())
-    | Some '{' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some '}' then begin
-          incr pos;
-          JObj []
-        end
-        else begin
-          let fields = ref [] in
-          let rec members () =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                incr pos;
-                members ()
-            | Some '}' -> incr pos
-            | _ -> fail "expected ',' or '}'"
-          in
-          members ();
-          JObj (List.rev !fields)
-        end
-    | Some '[' ->
-        incr pos;
-        skip_ws ();
-        if peek () = Some ']' then begin
-          incr pos;
-          JArr []
-        end
-        else begin
-          let items = ref [] in
-          let rec elements () =
-            let v = parse_value () in
-            items := v :: !items;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                incr pos;
-                elements ()
-            | Some ']' -> incr pos
-            | _ -> fail "expected ',' or ']'"
-          in
-          elements ();
-          JArr (List.rev !items)
-        end
-    | Some 't' -> lit "true" (JBool true)
-    | Some 'f' -> lit "false" (JBool false)
-    | Some 'n' -> lit "null" JNull
-    | Some ('0' .. '9' | '-') -> parse_number ()
-    | Some c -> fail (Printf.sprintf "unexpected %C" c)
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let obj_field name = function
-  | JObj fields -> List.assoc_opt name fields
-  | _ -> None
+let parse_json = J.parse
+let obj_field = J.field
 
 (* --- spans -------------------------------------------------------------------- *)
 
@@ -303,13 +154,13 @@ let test_chrome_trace_wellformed () =
   let j = parse_json text in
   let events =
     match obj_field "traceEvents" j with
-    | Some (JArr evs) -> evs
+    | Some (J.Arr evs) -> evs
     | _ -> Alcotest.fail "traceEvents array missing"
   in
   let name_of e =
-    match obj_field "name" e with Some (JStr s) -> s | _ -> "?"
+    match obj_field "name" e with Some (J.Str s) -> s | _ -> "?"
   in
-  let ph_of e = match obj_field "ph" e with Some (JStr s) -> s | _ -> "?" in
+  let ph_of e = match obj_field "ph" e with Some (J.Str s) -> s | _ -> "?" in
   Alcotest.(check bool) "alpha X event present" true
     (List.exists (fun e -> name_of e = "alpha" && ph_of e = "X") events);
   Alcotest.(check bool) "beta X event present" true
@@ -321,7 +172,7 @@ let test_chrome_trace_wellformed () =
     (fun e ->
       if ph_of e = "X" then
         match (obj_field "ts" e, obj_field "dur" e) with
-        | Some (JNum _), Some (JNum _) -> ()
+        | Some (J.Num _), Some (J.Num _) -> ()
         | _ -> Alcotest.failf "X event %s lacks ts/dur" (name_of e))
     events
 
@@ -458,10 +309,10 @@ let test_cli_stats_and_trace () =
        go 0);
     let j = parse_json (In_channel.with_open_text trace In_channel.input_all) in
     match obj_field "traceEvents" j with
-    | Some (JArr evs) ->
+    | Some (J.Arr evs) ->
         let names =
           List.filter_map (fun e ->
-              match obj_field "name" e with Some (JStr s) -> Some s | _ -> None)
+              match obj_field "name" e with Some (J.Str s) -> Some s | _ -> None)
             evs
         in
         List.iter
