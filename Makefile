@@ -1,9 +1,10 @@
 # Convenience wrappers around dune; `make check` is the CI entry point:
 # build + full test suite + the benchmark smoke pass (tiny sizes) + the
-# profiler JSON contract, so neither the perf plumbing of bench/ nor the
-# `mmc profile --json` schema can bit-rot silently.
+# chaos/stress pass (fault injection, crash containment, resource
+# guards) + the profiler JSON contract, so neither the perf plumbing of
+# bench/ nor the `mmc profile --json` schema can bit-rot silently.
 
-.PHONY: all test bench bench-smoke bench-compare profile-check check clean
+.PHONY: all test bench bench-smoke bench-compare stress profile-check check clean
 
 all:
 	dune build
@@ -24,6 +25,14 @@ bench-smoke:
 bench-compare: all
 	dune exec bench/main.exe -- --compare BENCH_kernels.json
 
+# Chaos/stress pass: every failpoint through real programs in both
+# execution modes, pool crash containment, degraded-mode fallback and
+# the cooperative resource guards.  Each case runs under a hard SIGALRM
+# deadline inside the suite, so a containment bug fails fast instead of
+# hanging CI.
+stress:
+	dune build @stress-smoke
+
 # Run the source-attributed profiler on an example and validate the
 # machine-readable output against the schema checker in the bench binary.
 profile-check: all
@@ -31,7 +40,7 @@ profile-check: all
 	  > _build/profile_check.json
 	dune exec bench/main.exe -- --check-profile-json _build/profile_check.json
 
-check: all test bench-smoke profile-check
+check: all test bench-smoke stress profile-check
 
 clean:
 	dune clean

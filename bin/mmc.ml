@@ -212,6 +212,74 @@ let grain_arg =
                  dispatches to the pool (default 16384, or \
                  \\$(b,MMC_GRAIN)).")
 
+(* --- robustness options (run / profile) ---------------------------------------- *)
+
+let failpoints_arg =
+  Arg.(value & opt_all string []
+       & info [ "failpoints" ] ~docv:"SPEC"
+           ~doc:"Arm fault-injection points for chaos testing: \
+                 comma-separated clauses, repeatable. \
+                 $(b,name\\@K) fires on exactly the K-th hit; \
+                 $(b,name\\@P) fires each hit with probability P; \
+                 $(b,name\\@P:SEED) seeds the per-hit coin. Also read \
+                 from \\$(b,MMC_FAILPOINTS). Known points: ndarray.alloc, \
+                 pool.dispatch, pool.worker_body, io.read_matrix.")
+
+let max_steps_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Abort the program after N loop iterations (checked at \
+                 every iteration).")
+
+let max_bytes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-bytes" ] ~docv:"N"
+           ~doc:"Abort when live matrix payload in the RC registry \
+                 exceeds N bytes (checked at loop and chunk boundaries).")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Abort after SECS seconds of wall clock (cooperative: \
+                 enforced at loop and chunk boundaries).")
+
+let fault_budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fault-budget" ] ~docv:"N"
+           ~doc:"Recovered worker faults tolerated before the pool \
+                 degrades to sequential fallback (default 3, or \
+                 \\$(b,MMC_FAULT_BUDGET)).")
+
+let robustness_term =
+  Term.(
+    const (fun fp ms mb t fb -> (fp, ms, mb, t, fb))
+    $ failpoints_arg $ max_steps_arg $ max_bytes_arg $ timeout_arg
+    $ fault_budget_arg)
+
+(* Arm failpoints and install resource limits around the command body;
+   both are process-global, so the finalizer always clears them. *)
+let with_robustness (specs, max_steps, max_bytes, timeout_s, fault_budget)
+    pool k =
+  Support.Failpoint.reset ();
+  (try
+     Support.Failpoint.arm_from_env ();
+     List.iter Support.Failpoint.arm_spec specs
+   with Support.Failpoint.Bad_spec m ->
+     Fmt.epr "mmc: bad failpoint spec: %s@." m;
+     raise (Fatal 2));
+  (match fault_budget with
+  | Some n when n < 0 ->
+      Fmt.epr "mmc: --fault-budget must be >= 0@.";
+      raise (Fatal 2)
+  | Some n -> Option.iter (fun p -> Runtime.Pool.set_fault_budget p n) pool
+  | None -> ());
+  Runtime.Limits.configure ?max_steps ?max_bytes ?timeout_s ();
+  Fun.protect
+    ~finally:(fun () ->
+      Runtime.Limits.clear ();
+      Support.Failpoint.reset ())
+    k
+
 let set_kernel_knobs block grain =
   try
     Option.iter Runtime.Ndarray.set_block_size block;
@@ -229,7 +297,7 @@ let resolve_data_dir = function
       d
 
 let run_cmd =
-  let run exts_names threads data_dir block grain tele file =
+  let run exts_names threads data_dir block grain robust tele file =
     with_telemetry tele @@ fun () ->
     set_kernel_knobs block grain;
     let c = compose_or_die (resolve_exts exts_names) in
@@ -239,6 +307,7 @@ let run_cmd =
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     let exec pool =
       Runtime.Rc.reset ();
+      with_robustness robust pool @@ fun () ->
       match Driver.run ~dir ?pool ~auto_par ~warn c src [] with
       | Driver.Ok_ v ->
           Fmt.pr "result: %a@." Interp.Eval.pp_value v;
@@ -258,7 +327,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
-      $ telemetry_term $ src_arg)
+      $ robustness_term $ telemetry_term $ src_arg)
 
 (* --- profile ------------------------------------------------------------------- *)
 
@@ -280,7 +349,8 @@ let profile_cmd =
          & info [ "top" ] ~docv:"N"
              ~doc:"Rows to show in the hot-loop table (default 15).")
   in
-  let run exts_names threads data_dir block grain json folded top tele file =
+  let run exts_names threads data_dir block grain robust json folded top tele
+      file =
     with_telemetry tele @@ fun () ->
     set_kernel_knobs block grain;
     let c = compose_or_die (resolve_exts exts_names) in
@@ -288,6 +358,7 @@ let profile_cmd =
     let src = read_source file in
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     let exec pool =
+      with_robustness robust pool @@ fun () ->
       let outcome, report =
         Driver.profile ~dir ?pool ~auto_par:(threads > 1) ~warn c src []
       in
@@ -328,7 +399,7 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
-      $ json $ folded $ top $ telemetry_term $ src_arg)
+      $ robustness_term $ json $ folded $ top $ telemetry_term $ src_arg)
 
 (* ---------------------------------------------------------------------------------- *)
 

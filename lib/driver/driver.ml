@@ -279,6 +279,39 @@ let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file (c : composed)
             (Tel.with_span ~phase:"emit" "driver.emit" (fun () ->
                  Cir.Emit.program ?line_directives_file:line_file prog)))
 
+(* --- runtime failure -> structured diagnostic --------------------------------- *)
+
+(* Every failure class the runtime can surface, mapped to a diagnostic.
+   Exceptions the interpreter enriched with provenance ([Runtime_error],
+   a span-carrying [Resource_limit]) keep their span and render with a
+   caret excerpt; the rest anchor at the dummy span.  Returns [None] for
+   exceptions that are not program failures (driver bugs, Stack_overflow,
+   Out_of_memory …) — those keep propagating. *)
+let runtime_failure_diag exn =
+  let d ?(span = Support.Pos.dummy_span) m =
+    Some (Support.Diag.error ~phase:"run" ~span "%s" m)
+  in
+  match exn with
+  | Interp.Eval.Interp_error m -> d m
+  | Interp.Eval.Runtime_error (m, span) -> d ~span m
+  | Runtime.Limits.Resource_limit v ->
+      let span =
+        Option.value ~default:Support.Pos.dummy_span v.Runtime.Limits.v_span
+      in
+      d ~span (Runtime.Limits.describe v)
+  | Support.Failpoint.Injected n ->
+      d (Printf.sprintf "injected fault at failpoint %s" n)
+  | Runtime.Ndarray.Io_error m
+  | Runtime.Ndarray.Type_error m
+  | Runtime.Scalar.Type_error m
+  | Runtime.Shape.Shape_error m ->
+      d m
+  | Runtime.Rc.Use_after_free id ->
+      d (Printf.sprintf "use of matrix cell #%d after its count reached 0" id)
+  | Runtime.Rc.Double_free id ->
+      d (Printf.sprintf "reference count of matrix cell #%d went negative" id)
+  | _ -> None
+
 (** [run c src args] — compile and execute on the parallel runtime.
     [pool] supplies the enhanced fork-join worker pool; [dir] hosts the
     program's matrix files. *)
@@ -308,13 +341,16 @@ let run ?fuse ?copy_elim ?auto_par ?warn ?pool ?dir ?(optimize = true)
                 (float_of_int (Runtime.Rc.peak_bytes ()));
               Tel.set_gauge "rc.allocated_bytes"
                 (float_of_int (Runtime.Rc.allocated_bytes ()));
+              Support.Failpoint.export_gauges ();
               Ok_ v
-          | exception Interp.Eval.Interp_error m ->
-              Failed
-                [
-                  Support.Diag.error ~phase:"run" ~span:Support.Pos.dummy_span
-                    "%s" m;
-                ]))
+          | exception e -> (
+              let bt = Printexc.get_raw_backtrace () in
+              Tel.set_gauge "rc.live_bytes"
+                (float_of_int (Runtime.Rc.live_bytes ()));
+              Support.Failpoint.export_gauges ();
+              match runtime_failure_diag e with
+              | Some diag -> Failed [ diag ]
+              | None -> Printexc.raise_with_backtrace e bt)))
 
 (** [diags_to_string ?src ds] — rendered diagnostics; with [src] each one
     gains a clang-style source excerpt with a caret underline. *)
@@ -489,15 +525,13 @@ let profile ?fuse ?copy_elim ?(auto_par = true) ?warn ?pool ?dir
         Tel.with_span ~phase:"run" "driver.profile_run" (fun () ->
             Interp.Eval.run ?pool ?dir prog args)
       with
-      | v -> (Ok_ v, finish ())
-      | exception Interp.Eval.Interp_error m ->
+      | v ->
+          Support.Failpoint.export_gauges ();
+          (Ok_ v, finish ())
+      | exception e -> (
+          let bt = Printexc.get_raw_backtrace () in
+          Support.Failpoint.export_gauges ();
           let report = finish () in
-          ( Failed
-              [
-                Support.Diag.error ~phase:"run" ~span:Support.Pos.dummy_span
-                  "%s" m;
-              ],
-            report )
-      | exception e ->
-          ignore (finish ());
-          raise e)
+          match runtime_failure_diag e with
+          | Some diag -> (Failed [ diag ], report)
+          | None -> Printexc.raise_with_backtrace e bt))

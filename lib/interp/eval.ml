@@ -22,6 +22,11 @@ type value =
 
 exception Interp_error of string
 
+exception Runtime_error of string * Support.Pos.span
+(** A runtime failure enriched with the provenance span of the innermost
+    [Located] block or loop that was executing — the driver renders it
+    with the same caret excerpt as a static diagnostic. *)
+
 let err fmt = Format.kasprintf (fun m -> raise (Interp_error m)) fmt
 
 (* Interpreter telemetry: how much work the lowered program actually did
@@ -95,6 +100,43 @@ let declare env name v = Hashtbl.replace env.vars name (ref v)
 exception Return_exc of value
 exception Break_exc
 exception Continue_exc
+
+(* --- provenance enrichment ------------------------------------------------- *)
+
+(* Runtime failures that deserve a source location.  Anything else —
+   control flow, assertion failures, already-located errors — passes
+   through untouched. *)
+let message_of_exn = function
+  | Interp_error m
+  | Runtime.Shape.Shape_error m
+  | Nd.Type_error m
+  | Nd.Io_error m
+  | S.Type_error m ->
+      Some m
+  | Runtime.Rc.Use_after_free id ->
+      Some (Printf.sprintf "use of matrix cell #%d after its count reached 0" id)
+  | Runtime.Rc.Double_free id ->
+      Some (Printf.sprintf "reference count of matrix cell #%d went negative" id)
+  | Support.Failpoint.Injected n ->
+      Some (Printf.sprintf "injected fault at failpoint %s" n)
+  | _ -> None
+
+(* [locate sp f] — run [f]; if a runtime failure escapes, re-raise it
+   carrying [sp] (the innermost enclosing provenance wins, so an already
+   located error is not re-wrapped).  A {!Runtime.Limits.Resource_limit}
+   keeps its own exception but gains the span. *)
+let locate sp f =
+  try f () with
+  | (Return_exc _ | Break_exc | Continue_exc | Runtime_error _) as e -> raise e
+  | Runtime.Limits.Resource_limit ({ v_span = None; _ } as v) ->
+      raise (Runtime.Limits.Resource_limit { v with v_span = Some sp })
+  | e -> (
+      match message_of_exn e with
+      | Some m -> raise (Runtime_error (m, sp))
+      | None -> raise e)
+
+let locate_opt prov f =
+  match prov with Some sp -> locate sp f | None -> f ()
 
 type ctx = {
   prog : program;
@@ -269,19 +311,22 @@ and exec (ctx : ctx) (env : env) (s : stmt) : unit =
   | While (c, b) -> (
       try
         while bool_of (eval ctx env c) do
+          Runtime.Limits.tick ();
           try exec_block ctx env b with Continue_exc -> ()
         done
       with Break_exc -> ())
   | For l ->
       let bound = int_of (eval ctx env l.bound) in
       let body () =
-        try
-          for i = 0 to bound - 1 do
-            let inner = new_env ~parent:env () in
-            declare inner l.index (VScal (S.I i));
-            try exec_block ctx inner l.body with Continue_exc -> ()
-          done
-        with Break_exc -> ()
+        locate_opt l.prov (fun () ->
+            try
+              for i = 0 to bound - 1 do
+                Runtime.Limits.tick ();
+                let inner = new_env ~parent:env () in
+                declare inner l.index (VScal (S.I i));
+                try exec_block ctx inner l.body with Continue_exc -> ()
+              done
+            with Break_exc -> ())
       in
       (* Inside a parallel region the dispatching ParFor row owns the
          time (workers would otherwise multiply-count wall clock and
@@ -301,24 +346,30 @@ and exec (ctx : ctx) (env : env) (s : stmt) : unit =
       Support.Telemetry.bump c_parfor;
       let bound = int_of (eval ctx env l.bound) in
       let body () =
-        match ctx.pool with
-        | None ->
-            for i = 0 to bound - 1 do
-              let inner = new_env ~parent:env () in
-              declare inner l.index (VScal (S.I i));
-              exec_block ctx inner l.body
-            done
-        | Some pool ->
-            (* The with-loop generator guarantees disjoint index sets, so
-               iterations write disjoint elements (§III-A4).  Guided chunking
-               load-balances bodies of uneven cost (matrixMap over slices,
-               conncomp frames); the pool re-raises the first body exception
-               at the stop barrier with its backtrace. *)
-            Runtime.Pool.parallel_for ~chunking:Runtime.Pool.Guided pool 0
-              bound (fun i ->
-                let inner = new_env ~parent:env () in
-                declare inner l.index (VScal (S.I i));
-                exec_block ctx inner l.body)
+        locate_opt l.prov (fun () ->
+            match ctx.pool with
+            | None ->
+                for i = 0 to bound - 1 do
+                  Runtime.Limits.tick ();
+                  let inner = new_env ~parent:env () in
+                  declare inner l.index (VScal (S.I i));
+                  exec_block ctx inner l.body
+                done
+            | Some pool ->
+                (* The with-loop generator guarantees disjoint index sets, so
+                   iterations write disjoint elements (§III-A4).  Guided chunking
+                   load-balances bodies of uneven cost (matrixMap over slices,
+                   conncomp frames); the pool re-raises the first body exception
+                   at the stop barrier with its backtrace, retrying chunks
+                   that died to a recoverable fault.  The [locate_opt]
+                   wrapper sits outside the dispatch, so whatever the
+                   barrier re-raises gains this loop's provenance. *)
+                Runtime.Pool.parallel_for ~chunking:Runtime.Pool.Guided pool 0
+                  bound (fun i ->
+                    Runtime.Limits.tick ();
+                    let inner = new_env ~parent:env () in
+                    declare inner l.index (VScal (S.I i));
+                    exec_block ctx inner l.body))
       in
       if
         Support.Profile.is_enabled ()
@@ -373,17 +424,18 @@ and exec (ctx : ctx) (env : env) (s : stmt) : unit =
          frame stack, no active parallel region) — loops are the
          aggregation grain everywhere else, so per-statement clock reads
          stay out of hot bodies. *)
-      if
-        Support.Profile.is_enabled ()
-        && Support.Profile.depth () = 0
-        && not (Support.Profile.in_region ())
-      then begin
-        Support.Profile.enter sp;
-        Fun.protect
-          ~finally:(fun () -> Support.Profile.exit_ ())
-          (fun () -> List.iter (exec ctx env) b)
-      end
-      else List.iter (exec ctx env) b
+      locate sp (fun () ->
+          if
+            Support.Profile.is_enabled ()
+            && Support.Profile.depth () = 0
+            && not (Support.Profile.in_region ())
+          then begin
+            Support.Profile.enter sp;
+            Fun.protect
+              ~finally:(fun () -> Support.Profile.exit_ ())
+              (fun () -> List.iter (exec ctx env) b)
+          end
+          else List.iter (exec ctx env) b)
 
 and sync root =
   (* join in spawn order; propagate the first child exception *)
@@ -449,7 +501,16 @@ let run ?pool ?dir (prog : program) (args : value list) : value =
         d
   in
   let ctx = { prog; pool; fs = Hashtbl.create 8; dir } in
-  call ctx (find_func ctx prog.main) args
+  (* An aborted run never executes its scope-exit RcDec statements, so its
+     allocations would sit in the live registry forever (a phantom leak
+     that also keeps counting against --max-bytes).  Mark the ledger here
+     and drain everything allocated after the mark on any escape. *)
+  let ledger_mark = Runtime.Rc.mark () in
+  try call ctx (find_func ctx prog.main) args
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    ignore (Runtime.Rc.drain_since ledger_mark);
+    Printexc.raise_with_backtrace e bt
 
 (** [provide_input ?dir path m] — place matrix [m] where a translated
     program's [readMatrix path] will find it. *)

@@ -20,7 +20,18 @@ type t = { shape : Shape.t; buf : buf }
 
 exception Type_error of string
 
+exception Io_error of string
+(** Structured matrix-file failure ([readMatrix] on a missing, truncated
+    or garbage file): the message always names the file, the byte offset
+    where reading failed, and what was expected there. *)
+
 let terr fmt = Format.kasprintf (fun m -> raise (Type_error m)) fmt
+let io_err fmt = Format.kasprintf (fun m -> raise (Io_error m)) fmt
+
+(* Fault-injection sites: every matrix allocation, and the entry of the
+   readMatrix builtin. *)
+let fp_alloc = Support.Failpoint.register "ndarray.alloc"
+let fp_read = Support.Failpoint.register "io.read_matrix"
 
 (* Kernel-invocation telemetry: one gated atomic bump per whole-matrix
    kernel call (not per element), plus per-kernel-class nanoseconds. *)
@@ -111,8 +122,12 @@ let dim_size m d =
     source span being executed; [None] costs one load per allocation. *)
 let alloc_hook : (int -> unit) option ref = ref None
 
-(** [create e shape] — zero/false-initialised matrix: the [init] builtin. *)
+(** [create e shape] — zero/false-initialised matrix: the [init] builtin.
+    The [ndarray.alloc] failpoint fires {e before} the buffer exists or
+    the allocation hook runs, modelling an allocation failure that leaves
+    no trace behind. *)
 let create e sh =
+  Support.Failpoint.hit fp_alloc;
   let n = Shape.size sh in
   let buf =
     match e with
@@ -834,29 +849,108 @@ let write_file path m =
       | I a -> Array.iter (fun v -> output_string oc (string_of_int v ^ "\n")) a
       | B a -> Array.iter (fun v -> output_char oc (if v then '1' else '0')) a)
 
-(** [read_file path] — the [readMatrix] builtin. *)
+(* Plausibility bounds on a parsed header: binary garbage can decode to
+   any rank/extent, and without these caps a corrupt file turns into a
+   multi-gigabyte allocation attempt instead of a diagnostic. *)
+let max_rank = 16
+let max_extent = 1 lsl 24
+let max_elems = 1 lsl 28
+
+(** [read_file path] — the [readMatrix] builtin.  Every failure mode — a
+    missing file, wrong magic, an implausible header, truncation or
+    garbage in the element stream — raises {!Io_error} naming the file,
+    the byte offset where reading failed and what was expected there,
+    instead of leaking [End_of_file] / [Failure] / [Sys_error]. *)
 let read_file path =
-  let ic = open_in_bin path in
+  Support.Failpoint.hit fp_read;
+  let ic =
+    try open_in_bin path
+    with Sys_error m -> io_err "readMatrix %S: cannot open: %s" path m
+  in
   Fun.protect
-    ~finally:(fun () -> close_in ic)
+    ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then terr "%s: not a matrix file" path;
-      let kind = input_char ic in
-      let r = input_binary_int ic in
-      let sh = Array.init r (fun _ -> input_binary_int ic) in
+      (* [expected] describes what a well-formed file would contain at
+         the failing offset, e.g. "element 3817 of 4800 (float)". *)
+      let fail ~expected detail =
+        io_err "readMatrix %S: %s at offset %d (expected %s)" path detail
+          (pos_in ic) expected
+      in
+      let guarded ~expected f =
+        try f () with
+        | End_of_file -> fail ~expected "file is truncated"
+        | Failure _ -> fail ~expected "malformed data"
+      in
+      let m =
+        guarded ~expected:(Printf.sprintf "magic %S" magic) (fun () ->
+            really_input_string ic (String.length magic))
+      in
+      if m <> magic then
+        io_err "readMatrix %S: bad magic %S at offset 0 (expected %S)" path m
+          magic;
+      let kind =
+        guarded ~expected:"element kind 'f', 'i' or 'b'" (fun () ->
+            input_char ic)
+      in
+      if kind <> 'f' && kind <> 'i' && kind <> 'b' then
+        io_err "readMatrix %S: unknown element kind %C at offset %d \
+                (expected 'f', 'i' or 'b')"
+          path kind
+          (pos_in ic - 1);
+      let r = guarded ~expected:"rank" (fun () -> input_binary_int ic) in
+      if r < 0 || r > max_rank then
+        io_err "readMatrix %S: implausible rank %d at offset %d (expected 0..%d)"
+          path r (pos_in ic - 4) max_rank;
+      let sh =
+        Array.init r (fun d ->
+            let e =
+              guarded
+                ~expected:(Printf.sprintf "extent of dimension %d" d)
+                (fun () -> input_binary_int ic)
+            in
+            if e < 0 || e > max_extent then
+              io_err
+                "readMatrix %S: implausible extent %d in dimension %d at \
+                 offset %d (expected 0..%d)"
+                path e d (pos_in ic - 4) max_extent;
+            e)
+      in
       let n = Shape.size sh in
+      if n > max_elems then
+        io_err "readMatrix %S: shape %s holds %d elements (limit %d)" path
+          (Shape.to_string sh) n max_elems;
+      let elem i what f =
+        guarded
+          ~expected:
+            (Printf.sprintf "element %d of %d (%s) for shape %s" i n what
+               (Shape.to_string sh))
+          f
+      in
       match kind with
       | 'f' ->
           let a =
-            Array.init n (fun _ ->
-                Int64.float_of_bits (Int64.of_string (input_line ic)))
+            Array.init n (fun i ->
+                elem i "float" (fun () ->
+                    Int64.float_of_bits (Int64.of_string (input_line ic))))
           in
           { shape = sh; buf = F a }
       | 'i' ->
-          let a = Array.init n (fun _ -> int_of_string (input_line ic)) in
+          let a =
+            Array.init n (fun i ->
+                elem i "int" (fun () -> int_of_string (input_line ic)))
+          in
           { shape = sh; buf = I a }
-      | 'b' ->
-          let a = Array.init n (fun _ -> input_char ic = '1') in
-          { shape = sh; buf = B a }
-      | c -> terr "%s: unknown element kind %C" path c)
+      | _ ->
+          let a =
+            Array.init n (fun i ->
+                elem i "bool" (fun () ->
+                    match input_char ic with
+                    | '0' -> false
+                    | '1' -> true
+                    | c ->
+                        io_err
+                          "readMatrix %S: bad bool %C for element %d at \
+                           offset %d (expected '0' or '1')"
+                          path c i (pos_in ic - 1)))
+          in
+          { shape = sh; buf = B a })

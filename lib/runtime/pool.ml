@@ -16,7 +16,31 @@
     the spin never starves the worker that must make progress).
 
     {!naive_run} implements the fork-join-per-region model as the
-    benchmark baseline the paper argues against. *)
+    benchmark baseline the paper argues against.
+
+    {2 Crash containment}
+
+    A worker exception does not poison the pool.  Raw {!run} collects
+    {e every} thread's exception (not just the first): the first is
+    re-raised at the stop barrier with its original backtrace, the rest
+    are counted ([pool.suppressed_exns]).  The chunked entry points
+    ({!parallel_for_ranges}, {!parallel_for}, {!parallel_fold}) go
+    further: a chunk that raises a recoverable exception is {e recorded}
+    — its range, exception and backtrace — while surviving workers
+    finish their own chunks; the dispatcher then re-executes the failed
+    ranges inline on the calling thread (a transient fault, e.g. an
+    injected one, succeeds on retry).  Chunk retry relies on the
+    with-loop generator's disjointness guarantee (§III-A4): chunk bodies
+    write disjoint elements, so re-execution is idempotent.
+
+    Each recovered fault charges the pool's {e fault budget}; exceeding
+    it flips the pool into {e degraded mode} ([pool.degraded] counter,
+    {!on_degrade} warning): every subsequent region executes
+    sequentially inline, so the program still completes — correctly,
+    just without speedup.  The pool remains usable after any exception,
+    recovered or re-raised.  {!Limits} deadlines and byte caps are
+    probed at every chunk boundary and are deliberately {e not}
+    recoverable: they re-raise at the barrier so the run aborts. *)
 
 type job = { fn : int -> int -> unit (* worker_index n_workers -> unit *) }
 
@@ -30,10 +54,18 @@ type t = {
       (** a region is currently executing; a nested [run] (e.g. a kernel
           dispatching from inside a worker's share) executes inline on the
           calling thread instead of corrupting the single job slot *)
-  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
-      (** first exception raised by any thread's share of the current job,
-          with the raising thread's backtrace; re-raised on the main
-          thread at the stop barrier *)
+  failures : (exn * Printexc.raw_backtrace) list Atomic.t;
+      (** every exception raised by a thread's share of the current job
+          (newest first), each with the raising thread's backtrace; the
+          earliest is re-raised on the main thread at the stop barrier,
+          the rest are counted as suppressed *)
+  degraded : bool Atomic.t;
+      (** sequential-fallback mode: set when recovered chunk faults
+          exceed the fault budget; every later region runs inline *)
+  faults : int Atomic.t;  (** recovered chunk faults over the pool's life *)
+  mutable fault_budget : int;
+      (** recovered faults tolerated before degrading (default 3, or
+          [MMC_FAULT_BUDGET]); budget 0 degrades on the first fault *)
   busy : Support.Telemetry.counter array;
       (** per-thread busy nanoseconds (slot 0 = main thread's share) *)
   mutable domains : unit Domain.t array;
@@ -49,6 +81,31 @@ let c_barrier_ns = Support.Telemetry.counter "pool.barrier_wait_ns"
 let c_exceptions = Support.Telemetry.counter "pool.job_exceptions"
 let c_chunks = Support.Telemetry.counter "pool.chunks_dispatched"
 let c_nested = Support.Telemetry.counter "pool.nested_inline_runs"
+let c_suppressed = Support.Telemetry.counter "pool.suppressed_exns"
+let c_chunk_faults = Support.Telemetry.counter "pool.chunk_faults"
+let c_retries = Support.Telemetry.counter "pool.chunk_retries"
+let c_degraded = Support.Telemetry.counter "pool.degraded"
+
+(* Fault-injection sites (armed via MMC_FAILPOINTS / --failpoints): a
+   region dispatch on the calling thread, and a chunk execution inside a
+   worker's share. *)
+let fp_dispatch = Support.Failpoint.register "pool.dispatch"
+let fp_worker_body = Support.Failpoint.register "pool.worker_body"
+
+(* Resource-limit violations abort the run: containment must not retry
+   them (a deadline already passed stays passed), so they re-raise at the
+   stop barrier like any uncontained exception. *)
+let recoverable = function Limits.Resource_limit _ -> false | _ -> true
+
+let rec push_atomic cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (x :: old)) then push_atomic cell x
+
+(** Called once when a pool flips into sequential-fallback mode, with a
+    human-readable reason — the degradation warning diagnostic.  Replace
+    to route into a diagnostics stream (tests silence it). *)
+let on_degrade : (string -> unit) ref =
+  ref (fun msg -> Printf.eprintf "mmc: warning: %s\n%!" msg)
 
 (* Spin with progressive back-off: pure spinning briefly (the fast path the
    enhanced fork-join model is built for), then yield to the OS so
@@ -67,10 +124,10 @@ let spin_until pred =
   done;
   !slept
 
-(* Execute one thread's share of a job.  The first exception is captured
-   (not swallowed) and re-raised on the main thread at the stop barrier;
-   when telemetry is on, the share's wall-clock goes to the thread's busy
-   counter. *)
+(* Execute one thread's share of a job.  Every exception is captured (not
+   swallowed) and collected for the stop barrier, where the earliest is
+   re-raised on the main thread; when telemetry is on, the share's
+   wall-clock goes to the thread's busy counter. *)
 let run_share pool idx fn =
   let n = pool.n_workers + 1 in
   let exec () =
@@ -78,7 +135,7 @@ let run_share pool idx fn =
     with e ->
       let bt = Printexc.get_raw_backtrace () in
       Support.Telemetry.bump c_exceptions;
-      ignore (Atomic.compare_and_set pool.failure None (Some (e, bt)))
+      push_atomic pool.failures (e, bt)
   in
   if Support.Telemetry.on () || Support.Profile.is_enabled () then begin
     let t0 = Support.Telemetry.now_ns () in
@@ -117,6 +174,12 @@ let worker_loop pool idx () =
 (** [create n] — a pool executing parallel regions on [n] threads total:
     the calling (main) thread plus [n-1] spawned worker domains, matching
     the paper's command-line thread-count argument. *)
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt s with Some v when v >= 0 -> v | _ -> default)
+  | None -> default
+
 let create n =
   if n < 1 then invalid_arg "Pool.create: need at least one thread";
   let pool =
@@ -127,7 +190,10 @@ let create n =
       done_count = Atomic.make 0;
       shutdown = Atomic.make false;
       in_region = Atomic.make false;
-      failure = Atomic.make None;
+      failures = Atomic.make [];
+      degraded = Atomic.make false;
+      faults = Atomic.make 0;
+      fault_budget = env_int "MMC_FAULT_BUDGET" 3;
       busy =
         Array.init n (fun i ->
             Support.Telemetry.counter (Printf.sprintf "pool.worker%d.busy_ns" i));
@@ -140,6 +206,40 @@ let create n =
 
 let threads pool = pool.n_workers + 1
 
+(** Is the pool in sequential-fallback mode? *)
+let is_degraded pool = Atomic.get pool.degraded
+
+(** Recovered chunk faults over the pool's lifetime. *)
+let fault_count pool = Atomic.get pool.faults
+
+(** [set_fault_budget pool n] — recovered faults tolerated before the
+    pool degrades to sequential fallback; 0 degrades on the first. *)
+let set_fault_budget pool n =
+  if n < 0 then invalid_arg "Pool.set_fault_budget";
+  pool.fault_budget <- n
+
+let fault_budget pool = pool.fault_budget
+
+(** [reset_faults pool] — forgive recorded faults and leave degraded
+    mode, re-enabling parallel dispatch (operator intervention / tests). *)
+let reset_faults pool =
+  Atomic.set pool.faults 0;
+  Atomic.set pool.degraded false
+
+(* Charge one recovered fault; flipping past the budget degrades the pool
+   exactly once (CAS), bumps [pool.degraded] and emits the warning. *)
+let note_fault pool =
+  let n = 1 + Atomic.fetch_and_add pool.faults 1 in
+  if n > pool.fault_budget && Atomic.compare_and_set pool.degraded false true
+  then begin
+    Support.Telemetry.bump c_degraded;
+    !on_degrade
+      (Printf.sprintf
+         "parallel pool degraded to sequential fallback after %d recovered \
+          worker fault(s) (budget %d); remaining regions run inline"
+         n pool.fault_budget)
+  end
+
 (** [run pool f] — one parallel region: every thread [t] of [n] executes
     [f t n]; returns when all have passed the stop barrier.  If any share
     raised, the first exception is re-raised here (after every worker has
@@ -151,7 +251,8 @@ let threads pool = pool.n_workers + 1
     outer region already owns all the threads, so nesting degenerates to
     sequential execution instead of deadlocking on the single job slot. *)
 let run pool (fn : int -> int -> unit) =
-  if pool.n_workers = 0 then begin
+  Support.Failpoint.hit fp_dispatch;
+  if pool.n_workers = 0 || Atomic.get pool.degraded then begin
     Support.Telemetry.bump c_jobs;
     fn 0 1
   end
@@ -182,9 +283,15 @@ let run pool (fn : int -> int -> unit) =
           Support.Telemetry.add c_barrier_ns (Support.Telemetry.now_ns () - t0)
         end
         else wait ();
-        match Atomic.exchange pool.failure None with
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ())
+        (* Every worker has parked again, so the pool is reusable no
+           matter what happens next.  The earliest exception re-raises
+           with its original backtrace; later ones are counted, not
+           lost silently. *)
+        match List.rev (Atomic.exchange pool.failures []) with
+        | [] -> ()
+        | (e, bt) :: rest ->
+            Support.Telemetry.add c_suppressed (List.length rest);
+            Printexc.raise_with_backtrace e bt)
 
 (** How a [lo, hi) iteration space is carved into chunks (§III-C):
     - [Static]: one contiguous chunk per thread, the schedule the
@@ -205,21 +312,38 @@ let parallel_for_ranges ?(chunking = Static) ?(grain = 1) pool lo hi f =
   let total = hi - lo in
   let grain = max 1 grain in
   if total <= 0 then ()
-  else if total <= grain then begin
+  else if total <= grain || Atomic.get pool.degraded then begin
+    (* inline: small ranges never wake the pool; degraded pools run
+       everything sequentially (one whole-range chunk, exact sequential
+       exception semantics — no containment). *)
     Support.Telemetry.bump c_chunks;
+    Limits.check ();
     f lo hi
   end
-  else
-    match chunking with
+  else begin
+    (* Containment: a chunk that raises a recoverable exception records
+       its range and lets the rest of the region finish; resource-limit
+       violations escape to the share collector and re-raise at the
+       barrier. *)
+    let failed = Atomic.make [] in
+    let exec_chunk clo chi =
+      Support.Telemetry.bump c_chunks;
+      Limits.check ();
+      try
+        Support.Failpoint.hit fp_worker_body;
+        f clo chi
+      with e when recoverable e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Support.Telemetry.bump c_chunk_faults;
+        push_atomic failed (clo, chi, e, bt)
+    in
+    (match chunking with
     | Static ->
         run pool (fun t n ->
             let chunk = (total + n - 1) / n in
             let start = lo + (t * chunk) in
             let stop = min hi (start + chunk) in
-            if start < stop then begin
-              Support.Telemetry.bump c_chunks;
-              f start stop
-            end)
+            if start < stop then exec_chunk start stop)
     | Guided ->
         let next = Atomic.make lo in
         run pool (fun _ n ->
@@ -229,11 +353,22 @@ let parallel_for_ranges ?(chunking = Static) ?(grain = 1) pool lo hi f =
               if cur >= hi then continue := false
               else
                 let size = min (hi - cur) (max grain ((hi - cur) / (2 * n))) in
-                if Atomic.compare_and_set next cur (cur + size) then begin
-                  Support.Telemetry.bump c_chunks;
-                  f cur (cur + size)
-                end
-            done)
+                if Atomic.compare_and_set next cur (cur + size) then
+                  exec_chunk cur (cur + size)
+            done));
+    (* Re-execute failed ranges inline, in arrival order: chunk bodies
+       write disjoint elements (§III-A4), so re-running a partially
+       executed chunk is idempotent.  A fault that persists (the retry
+       raises too) propagates to the caller — with the pool already
+       parked and reusable. *)
+    List.iter
+      (fun (clo, chi, _, _) ->
+        note_fault pool;
+        Support.Telemetry.bump c_retries;
+        Limits.check ();
+        f clo chi)
+      (List.rev (Atomic.exchange failed []))
+  end
 
 (** [parallel_for pool lo hi f] — apply [f] to every index in [lo, hi),
     scheduled in chunks (see {!parallel_for_ranges}). *)
@@ -250,26 +385,54 @@ let parallel_for ?chunking ?grain pool lo hi f =
 let parallel_fold ?(grain = 1) pool lo hi ~init ~body ~combine =
   let total = hi - lo in
   let grain = max 1 grain in
-  if total <= 0 then init
-  else if total <= grain then begin
+  let inline () =
     let acc = ref init in
     for i = lo to hi - 1 do
       acc := body !acc i
     done;
     !acc
+  in
+  if total <= 0 then init
+  else if total <= grain then inline ()
+  else if Atomic.get pool.degraded then begin
+    Limits.check ();
+    inline ()
   end
   else begin
     let n = threads pool in
     let partials = Array.make n init in
+    let failed = Atomic.make [] in
     run pool (fun t n ->
         let chunk = (total + n - 1) / n in
         let start = lo + (t * chunk) in
         let stop = min hi (start + chunk) in
+        let fold_range () =
+          let acc = ref init in
+          for i = start to stop - 1 do
+            acc := body !acc i
+          done;
+          partials.(t) <- !acc
+        in
+        Limits.check ();
+        try
+          Support.Failpoint.hit fp_worker_body;
+          fold_range ()
+        with e when recoverable e ->
+          Support.Telemetry.bump c_chunk_faults;
+          push_atomic failed (t, start, stop, e));
+    (* A failed share's partial is garbage; recompute the whole share
+       inline (folds are pure in the accumulator, so this is exact). *)
+    List.iter
+      (fun (t, start, stop, _) ->
+        note_fault pool;
+        Support.Telemetry.bump c_retries;
+        Limits.check ();
         let acc = ref init in
         for i = start to stop - 1 do
           acc := body !acc i
         done;
-        partials.(t) <- !acc);
+        partials.(t) <- !acc)
+      (List.rev (Atomic.exchange failed []));
     Array.fold_left combine init partials
   end
 

@@ -45,6 +45,7 @@ let c_allocs = Support.Telemetry.counter "rc.allocs"
 let c_frees = Support.Telemetry.counter "rc.frees"
 let c_incrs = Support.Telemetry.counter "rc.incrs"
 let c_decrs = Support.Telemetry.counter "rc.decrs"
+let c_drained = Support.Telemetry.counter "rc.drained"
 
 (** [alloc ~bytes payload] — a fresh cell with count 1, registered live. *)
 let alloc ?(bytes = 0) payload =
@@ -98,6 +99,39 @@ let live_count () = with_registry (fun () -> Hashtbl.length live)
 
 let live_bytes () =
   with_registry (fun () -> Hashtbl.fold (fun _ b acc -> acc + b) live 0)
+
+(** Live payload bytes as an O(1) read of the incrementally maintained
+    gauge — what the cooperative [--max-bytes] guard polls at loop and
+    chunk boundaries. *)
+let current_bytes () = with_registry (fun () -> !cur_bytes)
+
+(** [mark ()] — a ledger position: every allocation made after this call
+    has an id [>=] the mark.  Pass it to {!drain_since} to reclaim an
+    aborted run's allocations. *)
+let mark () = with_registry (fun () -> !next_id)
+
+(** [drain_since m] — remove from the live registry every allocation made
+    at or after mark [m], returning [(count, bytes)] drained.  This is the
+    abort path of the generated code's memory discipline: when a run dies
+    mid-flight its scope-exit decrements never execute, so the interpreter
+    tears the run's allocations down wholesale (the payloads themselves
+    are reclaimed by the OCaml GC).  Cells already freed are untouched;
+    cells drained here tolerate late {!decr_} calls without double-free
+    (their registry entry is simply gone). *)
+let drain_since m =
+  with_registry (fun () ->
+      let doomed =
+        Hashtbl.fold (fun id b acc -> if id >= m then (id, b) :: acc else acc)
+          live []
+      in
+      List.iter
+        (fun (id, b) ->
+          Hashtbl.remove live id;
+          cur_bytes := !cur_bytes - b)
+        doomed;
+      let n = List.length doomed in
+      Support.Telemetry.add c_drained n;
+      (n, List.fold_left (fun acc (_, b) -> acc + b) 0 doomed))
 
 (** High-water mark of live payload bytes since the last {!reset}. *)
 let peak_bytes () = with_registry (fun () -> !max_bytes)

@@ -13,4 +13,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("kernels", Test_kernels.suite);
       ("profile", Test_profile.suite);
+      ("faults", Test_faults.suite);
     ]
