@@ -1,10 +1,11 @@
 # Convenience wrappers around dune; `make check` is the CI entry point:
 # build + full test suite + the benchmark smoke pass (tiny sizes) + the
 # chaos/stress pass (fault injection, crash containment, resource
-# guards) + the profiler JSON contract, so neither the perf plumbing of
-# bench/ nor the `mmc profile --json` schema can bit-rot silently.
+# guards) + the profiler and explain JSON contracts, so neither the perf
+# plumbing of bench/ nor the `mmc profile --json` / `mmc explain --json`
+# schemas can bit-rot silently.
 
-.PHONY: all test bench bench-smoke bench-compare stress profile-check check clean
+.PHONY: all test bench bench-smoke bench-compare stress profile-check explain-check check clean
 
 all:
 	dune build
@@ -40,7 +41,14 @@ profile-check: all
 	  > _build/profile_check.json
 	dune exec bench/main.exe -- --check-profile-json _build/profile_check.json
 
-check: all test bench-smoke stress profile-check
+# Collect optimization remarks for an example and validate the
+# machine-readable output against the schema checker in the bench binary.
+explain-check: all
+	dune exec bin/mmc.exe -- explain examples/transform_tiling.mc --json \
+	  > _build/explain_check.json
+	dune exec bench/main.exe -- --check-explain-json _build/explain_check.json
+
+check: all test bench-smoke stress profile-check explain-check
 
 clean:
 	dune clean

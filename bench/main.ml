@@ -481,6 +481,67 @@ let bench_blocked_kernels ~smoke () =
       let a, b = mk (if smoke then 48 else 256) in
       Runtime.Pool.with_pool 4 (fun pool -> ignore (Nd.matmul ~pool a b)))
 
+(* --- C11: optimization-remark counts over the paper corpus ------------------------------------ *)
+
+(* Lower every corpus program through Driver.explain and record the
+   remark tallies as [remark.<pass>.<kind>] gauges, so the BENCH_*.json
+   trajectory tracks how many decisions each pass takes (and how many it
+   declines) on the paper's own programs.  Also times the remark tax:
+   lowering with collection on vs. off. *)
+let bench_remarks () =
+  Fmt.pr "@.=== C11: optimization remarks over the paper corpus ===@.";
+  let corpus =
+    [
+      ("fig1", Eddy.Programs.fig1_temporal_mean);
+      ("fig4", Eddy.Programs.fig4_conncomp);
+      ("fig9", Eddy.Programs.fig9_transformed);
+      ("fig1-slice-copy", Eddy.Programs.fig1_with_slice_copy);
+    ]
+  in
+  let explain_all () =
+    List.concat_map
+      (fun (_, src) ->
+        match Driver.explain ~auto_par:true c_full src with
+        | Driver.Ok_ _, report -> report.Driver.Explain_report.remarks
+        | Driver.Failed _, _ -> [])
+      corpus
+  in
+  let lower_all () =
+    List.iter
+      (fun (_, src) ->
+        match Driver.frontend c_full src with
+        | Driver.Ok_ ast ->
+            ignore (Driver.lower ~auto_par:true c_full ast)
+        | Driver.Failed _ -> ())
+      corpus
+  in
+  Support.Remark.set_enabled false;
+  let off = wall lower_all in
+  let remarks = explain_all () in
+  Support.Remark.set_enabled false;
+  let on = wall (fun () -> ignore (explain_all ())) in
+  Support.Remark.set_enabled false;
+  Fmt.pr "  %-24s %8s %8s %8s@." "pass" "applied" "missed" "skipped";
+  List.iter
+    (fun (pass, a, m, s) -> Fmt.pr "  %-24s %8d %8d %8d@." pass a m s)
+    (Support.Remark.counts remarks);
+  Fmt.pr "  remark tax: lowering %.1f ms silent, %.1f ms collecting@."
+    (off *. 1000.) (on *. 1000.);
+  instrumented "C11" (fun () ->
+      let remarks = explain_all () in
+      Support.Remark.set_enabled false;
+      List.iter
+        (fun (pass, a, m, s) ->
+          let g kind v =
+            Support.Telemetry.set_gauge
+              (Printf.sprintf "remark.%s.%s" pass kind)
+              (float_of_int v)
+          in
+          g "applied" a;
+          g "missed" m;
+          g "skipped" s)
+        (Support.Remark.counts remarks))
+
 (* --- runtime micro-kernels (context for the groups above) ------------------------------------ *)
 
 let bench_kernels () =
@@ -680,6 +741,75 @@ let check_profile_json path =
       List.iter (fun p -> Fmt.epr "%s: %s@." path p) ps;
       exit 1
 
+(* --- bench --check-explain-json: schema validator for `mmc explain --json` -------- *)
+
+(* Same contract style as [check_profile_json]: every remark entry names
+   a known pass and kind, carries a span object with numeric fields and a
+   non-empty message; the counts object holds the three numeric tallies
+   per pass. *)
+let check_explain_json path =
+  let module J = Support.Json in
+  let problems = ref [] in
+  let bad fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
+  let known_passes = [ "fuse"; "copy-elim"; "auto-par"; "rc"; "transform" ] in
+  let known_kinds = [ "applied"; "missed"; "skipped" ] in
+  (try
+     let j = J.parse_file path in
+     (match Option.bind (J.field "remarks" j) J.arr with
+     | None -> bad "top-level: missing array \"remarks\""
+     | Some remarks ->
+         List.iteri
+           (fun i r ->
+             let ctx = Printf.sprintf "remarks[%d]" i in
+             (match Option.bind (J.field "pass" r) J.str with
+             | Some p when List.mem p known_passes -> ()
+             | Some p -> bad "%s: unknown pass %S" ctx p
+             | None -> bad "%s: missing string \"pass\"" ctx);
+             (match Option.bind (J.field "kind" r) J.str with
+             | Some k when List.mem k known_kinds -> ()
+             | Some k -> bad "%s: unknown kind %S" ctx k
+             | None -> bad "%s: missing string \"kind\"" ctx);
+             (match Option.bind (J.field "message" r) J.str with
+             | Some m when String.length m > 0 -> ()
+             | Some _ -> bad "%s: empty message" ctx
+             | None -> bad "%s: missing string \"message\"" ctx);
+             (match J.field "span" r with
+             | Some span ->
+                 List.iter
+                   (fun name ->
+                     if J.num_field span name = None then
+                       bad "%s: span missing number %S" ctx name)
+                   [ "line"; "col"; "end_line"; "end_col" ]
+             | None -> bad "%s: missing object \"span\"" ctx);
+             match J.field "details" r with
+             | Some (J.Obj _) | None -> ()
+             | Some _ -> bad "%s: \"details\" is not an object" ctx)
+           remarks);
+     match J.field "counts" j with
+     | None -> bad "top-level: missing object \"counts\""
+     | Some (J.Obj passes) ->
+         List.iter
+           (fun (pass, tallies) ->
+             if not (List.mem pass known_passes) then
+               bad "counts: unknown pass %S" pass;
+             List.iter
+               (fun k ->
+                 if J.num_field tallies k = None then
+                   bad "counts.%s: missing number %S" pass k)
+               known_kinds)
+           passes
+     | Some _ -> bad "top-level: \"counts\" is not an object"
+   with
+  | Sys_error m -> bad "cannot read %s: %s" path m
+  | J.Bad_json m -> bad "invalid JSON: %s" m);
+  match List.rev !problems with
+  | [] ->
+      Fmt.pr "%s: explain JSON schema ok.@." path;
+      exit 0
+  | ps ->
+      List.iter (fun p -> Fmt.epr "%s: %s@." path p) ps;
+      exit 1
+
 (* Smoke mode: tiny-size kernel pass + one spawn-per-region sanity run
    (keeps [Pool.naive_parallel_for], the C5 baseline, exercised). *)
 let smoke_check () =
@@ -706,6 +836,9 @@ let () =
   (match flag_value "--check-profile-json" with
   | Some path -> check_profile_json path
   | None -> ());
+  (match flag_value "--check-explain-json" with
+  | Some path -> check_explain_json path
+  | None -> ());
   (match flag_value "--compare" with
   | Some path ->
       bench_compare path;
@@ -727,6 +860,7 @@ let () =
     bench_refcount ();
     bench_scaling ();
     bench_blocked_kernels ~smoke:false ();
+    bench_remarks ();
     write_bench_telemetry ();
     Fmt.pr "@.done.@."
   end

@@ -81,6 +81,33 @@ let trace_arg =
 
 let telemetry_term = Term.(const (fun s t -> (s, t)) $ stats_arg $ trace_arg)
 
+(* --- optimization remarks (--remarks) ----------------------------------------- *)
+
+let remarks_arg =
+  Arg.(value & flag
+       & info [ "remarks" ]
+           ~doc:"Collect optimization remarks (with-loop fusion, copy \
+                 elimination, auto-parallelization, reference counting, \
+                 transform clauses) while compiling and print the remark \
+                 table to standard error when the command finishes. See \
+                 also the $(b,explain) subcommand.")
+
+(* Enable remark collection iff requested, run the command body, then
+   render the table (with caret excerpts) to stderr.  [Fun.protect] so a
+   failing command still reports what the pipeline decided. *)
+let with_remarks enabled ~src k =
+  if enabled then begin
+    Support.Remark.reset ();
+    Support.Remark.set_enabled true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      if enabled then begin
+        Fmt.epr "%a" (Support.Remark.pp ~src) (Support.Remark.results ());
+        Support.Remark.set_enabled false
+      end)
+    k
+
 (* Enable telemetry iff requested, run the command body, then emit the
    requested reports.  [Fun.protect] so a failing command still reports. *)
 let with_telemetry (stats, trace) k =
@@ -128,21 +155,39 @@ let analyze_cmd =
 (* --- check --------------------------------------------------------------------- *)
 
 let check_cmd =
-  let run exts_names tele file =
+  let auto_par =
+    Arg.(value & flag & info [ "auto-par" ]
+         ~doc:"Check under auto-parallelization (§III-C), so lowering \
+               warnings (e.g. a transform script skipped because a loop \
+               became parallel) match what run --threads N would report.")
+  in
+  let run exts_names auto_par remarks tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
     let src = read_source file in
+    with_remarks remarks ~src @@ fun () ->
+    let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     match Driver.frontend c src with
-    | Driver.Ok_ _ ->
-        Fmt.pr "%s: OK@." file;
-        0
     | Driver.Failed ds ->
         Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
         1
+    | Driver.Ok_ ast -> (
+        (* Also lower: non-fatal lowering diagnostics (transform scripts
+           skipped, …) must reach stderr on check too, not only on
+           emit/run — checking a program should surface everything short
+           of executing it. *)
+        match Driver.lower ~auto_par ~warn c ast with
+        | Driver.Ok_ _ ->
+            Fmt.pr "%s: OK@." file;
+            0
+        | Driver.Failed ds ->
+            Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
+            1)
   in
-  let doc = "Parse and typecheck an extended-C program." in
+  let doc = "Parse, typecheck and lower an extended-C program." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ exts_arg $ telemetry_term $ src_arg)
+    Term.(
+      const run $ exts_arg $ auto_par $ remarks_arg $ telemetry_term $ src_arg)
 
 (* --- emit ---------------------------------------------------------------------- *)
 
@@ -160,10 +205,11 @@ let emit_cmd =
          ~doc:"Emit #line directives pointing C tools (debuggers, \
                profilers) back at the original extended-C source.")
   in
-  let run exts_names no_fuse auto_par line_directives tele file =
+  let run exts_names no_fuse auto_par line_directives remarks tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
     let src = read_source file in
+    with_remarks remarks ~src @@ fun () ->
     let line_file =
       if line_directives then
         Some (if file = "-" then "<stdin>" else file)
@@ -183,8 +229,8 @@ let emit_cmd =
   let doc = "Translate extended C down to plain parallel C (§II)." in
   Cmd.v (Cmd.info "emit" ~doc)
     Term.(
-      const run $ exts_arg $ fuse $ auto_par $ line_directives $ telemetry_term
-      $ src_arg)
+      const run $ exts_arg $ fuse $ auto_par $ line_directives $ remarks_arg
+      $ telemetry_term $ src_arg)
 
 (* --- run / profile (shared runtime options) ------------------------------------ *)
 
@@ -297,12 +343,13 @@ let resolve_data_dir = function
       d
 
 let run_cmd =
-  let run exts_names threads data_dir block grain robust tele file =
+  let run exts_names threads data_dir block grain robust remarks tele file =
     with_telemetry tele @@ fun () ->
     set_kernel_knobs block grain;
     let c = compose_or_die (resolve_exts exts_names) in
     let dir = resolve_data_dir data_dir in
     let src = read_source file in
+    with_remarks remarks ~src @@ fun () ->
     let auto_par = threads > 1 in
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     let exec pool =
@@ -327,7 +374,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
-      $ robustness_term $ telemetry_term $ src_arg)
+      $ robustness_term $ remarks_arg $ telemetry_term $ src_arg)
 
 (* --- profile ------------------------------------------------------------------- *)
 
@@ -349,13 +396,14 @@ let profile_cmd =
          & info [ "top" ] ~docv:"N"
              ~doc:"Rows to show in the hot-loop table (default 15).")
   in
-  let run exts_names threads data_dir block grain robust json folded top tele
-      file =
+  let run exts_names threads data_dir block grain robust json folded top
+      remarks tele file =
     with_telemetry tele @@ fun () ->
     set_kernel_knobs block grain;
     let c = compose_or_die (resolve_exts exts_names) in
     let dir = resolve_data_dir data_dir in
     let src = read_source file in
+    with_remarks remarks ~src @@ fun () ->
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     let exec pool =
       with_robustness robust pool @@ fun () ->
@@ -399,7 +447,136 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
-      $ robustness_term $ json $ folded $ top $ telemetry_term $ src_arg)
+      $ robustness_term $ json $ folded $ top $ remarks_arg $ telemetry_term
+      $ src_arg)
+
+(* --- explain ------------------------------------------------------------------- *)
+
+let explain_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the report as machine-readable JSON (remarks plus \
+                   per-pass counts) instead of the remark table.")
+  in
+  let only =
+    Arg.(value & opt_all string []
+         & info [ "only" ] ~docv:"FILTER"
+             ~doc:"Filter remarks: $(b,pass=NAME) (fuse, copy-elim, \
+                   auto-par, rc, transform) or \
+                   $(b,kind=applied|missed|skipped). Repeatable; filters \
+                   combine.")
+  in
+  let dump_ir =
+    Arg.(value & opt (some string) None
+         & info [ "dump-ir" ] ~docv:"PASS[,PASS...]"
+             ~doc:"Pretty-print the IR after each named pass. Passes, in \
+                   pipeline order: lower (no optimizations), fuse, \
+                   copy-elim, auto-par, transform (one snapshot per \
+                   applied script clause); $(b,all) selects every pass.")
+  in
+  let ir_diff =
+    Arg.(value & flag
+         & info [ "ir-diff" ]
+             ~doc:"With --dump-ir: render a unified diff between \
+                   consecutive snapshots instead of each one in full, so \
+                   each pass's (or transform clause's) effect on the loop \
+                   nest is visible directly.")
+  in
+  let seq =
+    Arg.(value & flag
+         & info [ "seq" ]
+             ~doc:"Explain the sequential configuration. By default \
+                   explain assumes auto-parallelization (what run \
+                   --threads N compiles), so parallelization decisions \
+                   show up.")
+  in
+  let no_fuse =
+    Arg.(value & flag & info [ "no-fuse" ]
+         ~doc:"Explain the library-style lowering (with-loop fusion off).")
+  in
+  let no_copy_elim =
+    Arg.(value & flag & info [ "no-copy-elim" ]
+         ~doc:"Explain with slice-copy elimination off.")
+  in
+  let run exts_names json only dump_ir ir_diff seq no_fuse no_copy_elim tele
+      file =
+    with_telemetry tele @@ fun () ->
+    let c = compose_or_die (resolve_exts exts_names) in
+    let src = read_source file in
+    (* --only pass=…/kind=… *)
+    let pass_f = ref None and kind_f = ref None in
+    List.iter
+      (fun f ->
+        let bad () =
+          Fmt.epr
+            "mmc: bad --only filter %S (expected pass=NAME or \
+             kind=applied|missed|skipped)@."
+            f;
+          raise (Fatal 2)
+        in
+        match String.index_opt f '=' with
+        | None -> bad ()
+        | Some i -> (
+            let k = String.sub f 0 i in
+            let v = String.sub f (i + 1) (String.length f - i - 1) in
+            match k with
+            | "pass" -> pass_f := Some v
+            | "kind" -> (
+                match v with
+                | "applied" -> kind_f := Some Support.Remark.Applied
+                | "missed" -> kind_f := Some Support.Remark.Missed
+                | "skipped" -> kind_f := Some Support.Remark.Skipped
+                | _ -> bad ())
+            | _ -> bad ()))
+      only;
+    let dump_passes =
+      match dump_ir with
+      | None -> []
+      | Some s ->
+          let ps =
+            String.split_on_char ',' s |> List.map String.trim
+            |> List.filter (fun p -> p <> "")
+          in
+          List.iter
+            (fun p ->
+              if not (List.mem p ("all" :: Cir.Snapshot.known_passes)) then begin
+                Fmt.epr "mmc: unknown --dump-ir pass %S (available: %s, all)@."
+                  p
+                  (String.concat ", " Cir.Snapshot.known_passes);
+                raise (Fatal 2)
+              end)
+            ps;
+          ps
+    in
+    let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
+    match
+      Driver.explain ~fuse:(not no_fuse) ~copy_elim:(not no_copy_elim)
+        ~auto_par:(not seq) ~dump_passes ~ir_diff ~warn c src
+    with
+    | Driver.Failed ds, _ ->
+        Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
+        1
+    | Driver.Ok_ _, report ->
+        let report =
+          Driver.Explain_report.filter ?pass:!pass_f ?kind:!kind_f report
+        in
+        if json then
+          print_string (Driver.Explain_report.to_json report ^ "\n")
+        else print_string (Driver.Explain_report.to_string ~src report);
+        0
+  in
+  let doc =
+    "Explain the pipeline's optimization decisions for a program: a remark \
+     table (with-loop fusion, copy elimination, auto-parallelization, \
+     reference counting, transform clauses) grouped by pass with source \
+     excerpts, optional pass-by-pass IR dumps (--dump-ir) and snapshot \
+     diffs (--ir-diff)."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ exts_arg $ json $ only $ dump_ir $ ir_diff $ seq $ no_fuse
+      $ no_copy_elim $ telemetry_term $ src_arg)
 
 (* ---------------------------------------------------------------------------------- *)
 
@@ -408,4 +585,7 @@ let () =
   let info = Cmd.info "mmc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ analyze_cmd; check_cmd; emit_cmd; run_cmd; profile_cmd ]))
+       (Cmd.group info
+          [
+            analyze_cmd; check_cmd; emit_cmd; run_cmd; profile_cmd; explain_cmd;
+          ]))

@@ -53,6 +53,11 @@ type t = {
           whole-function context for extension lowerings whose validity
           depends on later statements (e.g. the matrix extension's
           alias-safety analysis for slice-copy elimination) *)
+  mutable n_rc_incs : int;
+      (** retain operations emitted into the current function (remark
+          accounting; unlike the telemetry counters these tally even when
+          telemetry is off, so [mmc explain] can report them) *)
+  mutable n_rc_decs : int;  (** release operations, same accounting *)
   warn : Support.Diag.t -> unit;
       (** sink for non-fatal lowering diagnostics (e.g. a transform script
           skipped because auto-parallelization changed the loop nest) *)
@@ -129,6 +134,7 @@ let c_rc_decs = Support.Telemetry.counter "lower.rc_decs"
 let rc_dec t e =
   if t.rc then begin
     Support.Telemetry.bump c_rc_decs;
+    t.n_rc_decs <- t.n_rc_decs + 1;
     [ RcDec e ]
   end
   else []
@@ -136,6 +142,7 @@ let rc_dec t e =
 let rc_inc t e =
   if t.rc then begin
     Support.Telemetry.bump c_rc_incs;
+    t.n_rc_incs <- t.n_rc_incs + 1;
     [ RcInc e ]
   end
   else []
@@ -527,6 +534,8 @@ let lower_fundef t (f : Ast.fundef) : func =
   t.scopes <- [];
   t.pending <- [];
   t.cur_body <- f.Ast.body;
+  t.n_rc_incs <- 0;
+  t.n_rc_decs <- 0;
   push_scope t;
   t.params <-
     List.filter_map
@@ -544,6 +553,32 @@ let lower_fundef t (f : Ast.fundef) : func =
     | _ -> false
   in
   let needs_trailing_release = not (ends_with_return body) in
+  (* The scope release is dropped when the body already returned — the
+     return path emitted its own releases — so un-count it. *)
+  if not needs_trailing_release then
+    t.n_rc_decs <- t.n_rc_decs - List.length release;
+  (if Support.Remark.on () then
+     let span = f.Ast.fspan in
+     let details =
+       [
+         ("function", f.Ast.fname);
+         ("incs", string_of_int t.n_rc_incs);
+         ("decs", string_of_int t.n_rc_decs);
+       ]
+     in
+     if not t.rc then
+       Support.Remark.emit ~pass:"rc" ~kind:Support.Remark.Skipped ~span
+         ~details
+         "reference counting disabled (refptr extension not composed): '%s' \
+          manages no matrix ownership"
+         f.Ast.fname
+     else if t.n_rc_incs + t.n_rc_decs = 0 then
+       Support.Remark.emit ~pass:"rc" ~kind:Support.Remark.Missed ~span
+         ~details "no reference-count operations needed in '%s'" f.Ast.fname
+     else
+       Support.Remark.emit ~pass:"rc" ~kind:Support.Remark.Applied ~span
+         ~details "inserted %d retain and %d release operations in '%s'"
+         t.n_rc_incs t.n_rc_decs f.Ast.fname);
   {
     f_name = f.Ast.fname;
     f_params =
@@ -575,6 +610,8 @@ let lower_program ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
       auto_par;
       extra_funcs = [];
       cur_body = [];
+      n_rc_incs = 0;
+      n_rc_decs = 0;
       warn;
     }
   in

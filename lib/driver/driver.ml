@@ -259,7 +259,12 @@ let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false) ?warn
           (List.map (fun x -> x.lower_hooks) c.selected)
           ~rc:c.rc ast)
   with
-  | prog -> Ok_ prog
+  | prog ->
+      (* Per-pass remark counts become [remark.<pass>.<kind>] gauges, so
+         [--stats] tables and the bench trajectory see optimizer coverage.
+         No-op unless both remark collection and telemetry are enabled. *)
+      Support.Remark.export_gauges ();
+      Ok_ prog
   | exception Cminus.Lower.Lower_error (m, span) ->
       Failed [ Support.Diag.error ~phase:"lower" ~span "%s" m ]
 
@@ -486,6 +491,84 @@ module Profile_report = struct
   let folded_lines () =
     List.map (fun (path, ns) -> Printf.sprintf "%s %d" path ns) (P.folded ())
 end
+
+(* --- compiler decision tracing (mmc explain) --------------------------- *)
+
+module Explain_report = struct
+  (** What [mmc explain] renders: every optimization remark the pipeline
+      emitted while compiling the file, plus the rendered [--dump-ir]
+      snapshots when any were requested. *)
+  type t = {
+    remarks : Support.Remark.t list;
+    dump : string;  (** rendered IR snapshots; [""] when none requested *)
+  }
+
+  let collect () =
+    {
+      remarks = Support.Remark.results ();
+      dump =
+        (if Cir.Snapshot.any_wanted () then Cir.Snapshot.to_string () else "");
+    }
+
+  (** Keep only remarks matching the [--only pass=…]/[--only kind=…]
+      filters. *)
+  let filter ?pass ?kind t =
+    { t with remarks = Support.Remark.filter ?pass ?kind t.remarks }
+
+  (** Remark table grouped by pass; with [src], each remark renders a
+      caret excerpt.  IR snapshots (if any) follow the table. *)
+  let pp ?src ppf t =
+    Support.Remark.pp ?src ppf t.remarks;
+    if t.dump <> "" then Fmt.pf ppf "@.%s" t.dump
+
+  let to_string ?src t = Fmt.str "%a" (pp ?src) t
+
+  (** Machine-readable report; schema checked by
+      [bench --check-explain-json]. *)
+  let to_json t = Support.Remark.to_json t.remarks
+end
+
+(** [explain ?… c src] — compile [src] with remark collection on and
+    return (lowering outcome, report).  [dump_passes]/[ir_diff] drive the
+    pass-by-pass IR snapshots: the pipeline lowers in one piece, so "the
+    IR after pass P" is reconstructed by re-lowering with the cumulative
+    flags up to P (remarks and per-clause transform snapshots are
+    suppressed during those intermediate lowerings so nothing is counted
+    twice); the final lowering is the real one, whose transform hook
+    records the per-clause snapshots. *)
+let explain ?(fuse = true) ?(copy_elim = true) ?(auto_par = true)
+    ?(dump_passes = []) ?(ir_diff = false) ?warn (c : composed) (src : string)
+    : Cir.Ir.program outcome * Explain_report.t =
+  Support.Remark.reset ();
+  Support.Remark.set_enabled true;
+  Cir.Snapshot.reset ();
+  Cir.Snapshot.configure ~passes:dump_passes ~diff:ir_diff;
+  match frontend c src with
+  | Failed d -> (Failed d, Explain_report.collect ())
+  | Ok_ ast ->
+      let staged (pass, f, ce, ap) =
+        if Cir.Snapshot.wants pass then begin
+          Support.Remark.set_enabled false;
+          Cir.Snapshot.set_live false;
+          (match lower ~fuse:f ~copy_elim:ce ~auto_par:ap c ast with
+          | Ok_ prog ->
+              Cir.Snapshot.set_live true;
+              Cir.Snapshot.record ~pass ~label:"program"
+                (Cir.Emit.program prog)
+          | Failed _ -> ());
+          Cir.Snapshot.set_live true;
+          Support.Remark.set_enabled true
+        end
+      in
+      List.iter staged
+        [
+          ("lower", false, false, false);
+          ("fuse", fuse, false, false);
+          ("copy-elim", fuse, copy_elim, false);
+          ("auto-par", fuse, copy_elim, auto_par);
+        ];
+      let out = lower ~fuse ~copy_elim ~auto_par ?warn c ast in
+      (out, Explain_report.collect ())
 
 (** [profile ?… c src args] — run [src] with the source-attributed
     profiler enabled and return (program result outcome, report).  The

@@ -15,6 +15,7 @@ module T = Cminus.Types
 module A = Cminus.Ast
 module S = Runtime.Scalar
 module Nd = Runtime.Ndarray
+module R = Support.Remark
 open Cir.Ir
 
 let span_err = L.err
@@ -86,6 +87,13 @@ let ew_loop t ~span ~(model : string) ~(rank : int) ~(out_elem : Nd.elem)
       prov = Some span;
     }
   in
+  (if t.L.auto_par then
+     R.emit ~pass:"auto-par" ~kind:R.Applied ~span
+       "promoted elementwise loop to a parallel region (each index writes \
+        one output element)"
+   else
+     R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
+       "auto-parallelization disabled: elementwise loop stays sequential");
   let stmts =
     [
       Decl (CMat (out_elem, rank), r, Some alloc);
@@ -177,6 +185,13 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
           prov = Some span;
         }
       in
+      (if t.L.auto_par then
+         R.emit ~pass:"auto-par" ~kind:R.Applied ~span
+           "promoted matrix-multiplication row loop to a parallel region"
+       else
+         R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
+           "auto-parallelization disabled: matrix-multiplication row loop \
+            stays sequential");
       let stmts =
         sa @ sb
         @ [
@@ -552,19 +567,44 @@ let slice_dests body base indices =
   List.iter stmt body;
   !dests
 
-let alias_safe t (base : A.expr) (indices : A.index list) =
+(** [alias_verdict t base indices] — may this identity slice be lowered to
+    a retained alias?  Returns the decision {e and} the analysis verdict
+    as prose, so the stderr diagnostic, the optimization remark and the
+    [--json] report all carry the same reason. *)
+let alias_verdict t (base : A.expr) (indices : A.index list) : bool * string =
   match (is_mat_ident base, t.L.cur_body) with
-  | None, _ | _, [] -> false
+  | None, _ -> (false, "slice base is not a named matrix variable")
+  | _, [] -> (false, "no whole-function context for the alias analysis")
   | Some a, body -> (
       match slice_dests body base indices with
-      | [] -> false
+      | [] ->
+          ( false,
+            "slice result is not bound directly to a variable, so the alias \
+             could escape its statement" )
       | dests -> (
           match scan_body body with
-          | seeds, edges ->
+          | exception Opaque ->
+              ( false,
+                "function contains statements from extensions the alias \
+                 analysis cannot see into" )
+          | seeds, edges -> (
               let written = closure seeds edges in
-              (not (List.mem a written))
-              && List.for_all (fun d -> not (List.mem d written)) dests
-          | exception Opaque -> false))
+              match
+                List.find_opt (fun v -> List.mem v written) (a :: dests)
+              with
+              | Some v ->
+                  ( false,
+                    Printf.sprintf
+                      "buffer of '%s' may be written or escape while both \
+                       handles are live"
+                      v )
+              | None ->
+                  ( true,
+                    "no handle sharing the buffer is written or escapes \
+                     while both handles are live" ))))
+
+let alias_safe t (base : A.expr) (indices : A.index list) =
+  fst (alias_verdict t base indices)
 
 let h_subscript t (base : A.expr) (indices : A.index list) (rty : T.ty) span :
     (stmt list * expr) option =
@@ -585,14 +625,34 @@ let h_subscript t (base : A.expr) (indices : A.index list) (rty : T.ty) span :
       then begin
         (* Identity slice m[:, …, :]: §III-A5 copy elimination — alias the
            source (retaining it) instead of allocating and copying every
-           element.  [alias_safe] proved neither the base nor the alias is
-           buffer-written or escapes while both are live, so the alias is
-           observationally the copy. *)
+           element.  The alias analysis proved neither the base nor the
+           alias is buffer-written or escapes while both are live, so the
+           alias is observationally the copy. *)
+        R.emit ~pass:"copy-elim" ~kind:R.Applied ~span
+          ~details:[ ("alias", snd (alias_verdict t base indices)) ]
+          "identity slice aliased to its base: copy elided";
         Support.Telemetry.bump c_identity_slices;
         L.add_pending t vb;
         Some (sb @ si @ L.rc_inc t (Var vb), Var vb)
       end
       else begin
+        (if R.on () then
+           let identity =
+             List.for_all (function SAll -> true | _ -> false) specs
+           in
+           if identity && not t.L.copy_elim then
+             R.emit ~pass:"copy-elim" ~kind:R.Skipped ~span
+               "copy elimination disabled: identity slice allocates a copy"
+           else if identity then begin
+             let _, why = alias_verdict t base indices in
+             R.emit ~pass:"copy-elim" ~kind:R.Missed ~span
+               ~details:[ ("alias", why) ]
+               "identity slice kept its copy: %s" why
+           end
+           else
+             R.emit ~pass:"copy-elim" ~kind:R.Missed ~span
+               "slice allocates a copy (selection is not the whole matrix, \
+                so the buffer cannot be aliased)");
         Support.Telemetry.bump c_slice_copies;
         (* General slice: allocate and copy the selected region. *)
         let out_elem, _out_rank = mat_of_ty span rty in
@@ -820,17 +880,36 @@ let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
       in
       let inner = sbody @ [ MSetFlat (Var r, flat_offset eshape actual, ebody) ] in
       let nest = build_nest ~prov:span t loops inner in
+      (match nest with
+      | ParFor _ :: _ ->
+          R.emit ~pass:"auto-par" ~kind:R.Applied ~span
+            "promoted with-loop's outermost generator loop to a parallel \
+             region"
+      | _ ->
+          if t.L.auto_par then
+            R.emit ~pass:"auto-par" ~kind:R.Missed ~span
+              "with-loop has no generator loop nest to parallelize"
+          else
+            R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
+              "auto-parallelization disabled: with-loop nest stays \
+               sequential");
       let stmts =
         prelude @ sshape
         @ (Decl (CMat (out_elem, out_rank), r, Some (MAlloc (out_elem, eshape)))
           :: nest)
       in
       if t.L.fuse_with_loops then begin
+        R.emit ~pass:"fuse" ~kind:R.Applied ~span
+          "with-loop result feeds its consumer directly: no temporary copy";
         Support.Telemetry.bump c_fused;
         L.add_pending t r;
         (stmts, Var r)
       end
       else begin
+        R.emit ~pass:"fuse" ~kind:R.Missed ~span
+          ~details:
+            [ ("blocking", "library-style evaluation requested (--no-fuse)") ]
+          "with-loop paid a library-style result copy (fusion disabled)";
         Support.Telemetry.bump c_library_copies;
         (* Library-style baseline (§III-A5): "a library implementation
            would likely evaluate the result of the with-loops into a
@@ -895,6 +974,15 @@ let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
       t.L.auto_par <- false;
       let nest = build_nest ~prov:span t loops inner in
       t.L.auto_par <- saved;
+      (if saved then
+         R.emit ~pass:"auto-par" ~kind:R.Missed ~span
+           ~details:
+             [ ("demoted", "every iteration updates the single accumulator") ]
+           "fold with-loop demoted to sequential: iterations race on the \
+            fold accumulator"
+       else
+         R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
+           "auto-parallelization disabled: fold nest stays sequential");
       ( prelude @ sbase @ (Decl (acc_ty, acc, Some ebase) :: nest),
         Var acc )
 
@@ -994,6 +1082,14 @@ let lower_matrix_map t (fname : string) (marg : A.expr) (dims : int list)
       prov = Some span;
     }
   in
+  (if t.L.auto_par then
+     R.emit ~pass:"auto-par" ~kind:R.Applied ~span
+       "promoted matrixMap iteration space to a parallel region (lifted \
+        '%s' runs per slice on the pool)"
+       fname
+   else
+     R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
+       "auto-parallelization disabled: matrixMap slices run sequentially");
   let stmts =
     sm
     @ [

@@ -259,6 +259,12 @@ let rec optimize_block (stmts : A.stmt list) : A.stmt list =
             let changed = ref false in
             let rest' = rewrite_block sname base ixs rest changed in
             if !changed && uses_in_block sname rest' = 0 then begin
+              Support.Remark.emit ~pass:"copy-elim"
+                ~kind:Support.Remark.Applied ~span:decl.A.sspan
+                ~details:[ ("slice", sname) ]
+                "slice copy '%s' eliminated: the fold reads the base matrix \
+                 in place and the dead slice declaration was dropped"
+                sname;
               Support.Telemetry.bump c_slices_eliminated;
               go rest'
             end

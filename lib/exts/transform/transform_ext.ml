@@ -194,6 +194,28 @@ let demote_parfors stmts =
     (function Cir.Ir.ParFor l -> Cir.Ir.For l | s -> s)
     stmts
 
+(* The single structured description of a skipped script (the warn-and-skip
+   path below): one {!Support.Remark.t} value is the source of truth, and
+   the stderr warning, the remark stream and the [--json] report all
+   derive from it — so the skip reason can never drift between outputs. *)
+let skip_remark ~span msg : Support.Remark.t =
+  {
+    Support.Remark.pass = "transform";
+    kind = Support.Remark.Skipped;
+    span;
+    message =
+      Printf.sprintf
+        "transformation script skipped: auto-parallelization replaced this \
+         statement's for-nest with a parallel loop the script cannot bind \
+         to (%s); keeping the auto-parallelized loops untransformed"
+        msg;
+    details =
+      [
+        ("error", msg);
+        ("probe", "script binds against the For-demoted sequential nest");
+      ];
+  }
+
 let lower_hooks : Cminus.Lower.hooks =
   {
     (Cminus.Lower.no_hooks name) with
@@ -202,7 +224,43 @@ let lower_hooks : Cminus.Lower.hooks =
         match ext with
         | STransformAssign (lhs, rhs, ts) -> (
             let stmts = Cminus.Lower.lower_assign t span lhs rhs in
-            match T.apply_all ts stmts with
+            let loc = Support.Pos.span_to_string span in
+            (* Apply clause by clause — same semantics as [T.apply_all]
+               (in-order fold, then splat hoisting when any clause
+               vectorized) — so every bound clause gets its own remark and
+               [--dump-ir=transform] snapshot. *)
+            let apply_clauses body =
+              if Cir.Snapshot.wants "transform" && ts <> [] then
+                Cir.Snapshot.record ~pass:"transform" ~label:loc
+                  ~note:"input (before script)" (Cir.Emit.stmts body);
+              let rec go body = function
+                | [] -> Ok body
+                | clause :: rest -> (
+                    match T.apply clause body with
+                    | Error _ as e -> e
+                    | Ok body' ->
+                        Support.Remark.emit ~pass:"transform"
+                          ~kind:Support.Remark.Applied ~span
+                          ~details:[ ("clause", T.to_string clause) ]
+                          "transformation '%s' bound its loop indices and \
+                           was applied"
+                          (T.to_string clause);
+                        Cir.Snapshot.record ~pass:"transform" ~label:loc
+                          ~note:(T.to_string clause)
+                          (Cir.Emit.stmts body');
+                        go body' rest)
+              in
+              Result.map
+                (fun b ->
+                  if
+                    List.exists
+                      (function T.Vectorize _ -> true | _ -> false)
+                      ts
+                  then T.hoist_splats b
+                  else b)
+                (go body ts)
+            in
+            match apply_clauses stmts with
             | Ok stmts' -> Some (Cir.Ir.fold_deep stmts')
             | Error msg -> (
                 (* The §V error check: indices must name generated loops.
@@ -219,14 +277,9 @@ let lower_hooks : Cminus.Lower.hooks =
                   else Error msg
                 with
                 | Ok _ ->
-                    t.Cminus.Lower.warn
-                      (Support.Diag.warning ~phase:"transform" ~span
-                         "transformation script skipped: \
-                          auto-parallelization replaced this statement's \
-                          for-nest with a parallel loop the script cannot \
-                          bind to (%s); keeping the auto-parallelized \
-                          loops untransformed"
-                         msg);
+                    let r = skip_remark ~span msg in
+                    Support.Remark.record r;
+                    t.Cminus.Lower.warn (Support.Remark.to_diag r);
                     Some (Cir.Ir.fold_deep stmts)
                 | Error _ -> Cminus.Lower.err span "%s" msg))
         | _ -> None);

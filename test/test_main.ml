@@ -13,5 +13,6 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("kernels", Test_kernels.suite);
       ("profile", Test_profile.suite);
+      ("explain", Test_explain.suite);
       ("faults", Test_faults.suite);
     ]
