@@ -1,11 +1,12 @@
 # Convenience wrappers around dune; `make check` is the CI entry point:
 # build + full test suite + the benchmark smoke pass (tiny sizes) + the
 # chaos/stress pass (fault injection, crash containment, resource
-# guards) + the profiler and explain JSON contracts, so neither the perf
-# plumbing of bench/ nor the `mmc profile --json` / `mmc explain --json`
-# schemas can bit-rot silently.
+# guards) + the native backend pass (emitted C compiled and diffed
+# against the interpreter) + the profiler and explain JSON contracts, so
+# neither the perf plumbing of bench/ nor the `mmc profile --json` /
+# `mmc explain --json` schemas can bit-rot silently.
 
-.PHONY: all test bench bench-smoke bench-compare stress profile-check explain-check check clean
+.PHONY: all test bench bench-smoke bench-compare stress native-check profile-check explain-check check clean
 
 all:
 	dune build
@@ -34,6 +35,14 @@ bench-compare: all
 stress:
 	dune build @stress-smoke
 
+# Native backend pass: compile every corpus program's emitted C with the
+# system compiler and diff it against the interpreter bit-for-bit (plus
+# binary-cache, --keep-c and -Werror cases).  Each case skips with a
+# visible notice when no C compiler is installed, so the target always
+# succeeds on compiler-less machines without hiding that nothing ran.
+native-check:
+	dune build @native-check
+
 # Run the source-attributed profiler on an example and validate the
 # machine-readable output against the schema checker in the bench binary.
 profile-check: all
@@ -48,7 +57,7 @@ explain-check: all
 	  > _build/explain_check.json
 	dune exec bench/main.exe -- --check-explain-json _build/explain_check.json
 
-check: all test bench-smoke stress profile-check explain-check
+check: all test bench-smoke stress native-check profile-check explain-check
 
 clean:
 	dune clean

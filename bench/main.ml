@@ -402,6 +402,10 @@ let bench_composition () =
 
 (* --- C8: parallel cache-blocked kernels (§III-C) --------------------------------------------- *)
 
+(* C12 rows (prog, interp_ms, native_ms, compile_ms); filled by
+   [bench_native] before the C8 group writes BENCH_kernels.json. *)
+let native_rows : (string * float * float * float) list ref = ref []
+
 (* Seq naive vs seq blocked vs blocked-on-a-4-worker-pool, the speedup
    table behind the ISSUE 2 acceptance bar (>= 2x at 512x512 with 4
    workers vs the sequential baseline).  On a machine with fewer than 4
@@ -472,14 +476,108 @@ let bench_blocked_kernels ~smoke () =
       "],\n \"elementwise\":{\"elems\":%d,\"seq_ms\":%.3f,\"par4_ms\":%.3f,\"speedup\":%.2f},\n"
       elems (ew_seq *. 1000.) (ew_par *. 1000.) (ew_seq /. ew_par);
     Printf.fprintf oc
-      " \"reduce\":{\"elems\":%d,\"seq_ms\":%.3f,\"par4_ms\":%.3f,\"speedup\":%.2f}}\n"
+      " \"reduce\":{\"elems\":%d,\"seq_ms\":%.3f,\"par4_ms\":%.3f,\"speedup\":%.2f}"
       elems (red_seq *. 1000.) (red_par *. 1000.) (red_seq /. red_par);
+    (match List.rev !native_rows with
+    | [] -> ()
+    | rows ->
+        output_string oc ",\n \"native\":[";
+        List.iteri
+          (fun i (prog, interp_ms, native_ms, compile_ms) ->
+            if i > 0 then output_string oc ",\n  ";
+            Printf.fprintf oc
+              "{\"prog\":%S,\"interp_ms\":%.3f,\"native_ms\":%.3f,\"compile_ms\":%.3f,\"speedup\":%.2f}"
+              prog interp_ms native_ms compile_ms (interp_ms /. native_ms))
+          rows;
+        output_string oc "]");
+    output_string oc "}\n";
     close_out oc;
     Fmt.pr "  kernel numbers written to BENCH_kernels.json@."
   end;
   instrumented "C8" (fun () ->
       let a, b = mk (if smoke then 48 else 256) in
       Runtime.Pool.with_pool 4 (fun pool -> ignore (Nd.matmul ~pool a b)))
+
+(* --- C12: native execution vs the interpreter (§II) ------------------------------------------- *)
+
+(* The paper's pipeline hands the emitted C to "a traditional compiler";
+   `mmc exec` does exactly that.  C12 measures what that buys: end-to-end
+   wall time of the interpreted path (`mmc run`) against the native path
+   (`mmc exec`, binary cache warm so compilation is excluded), plus the
+   one-time cost of the C compile itself.  Rows land in
+   BENCH_kernels.json as {prog, interp_ms, native_ms, compile_ms} and are
+   regression-gated by `bench --compare` like every other kernel. *)
+
+let native_progs =
+  [
+    ("fig1", Eddy.Programs.fig1_temporal_mean);
+    ("fig9", Eddy.Programs.fig9_transformed);
+  ]
+
+let native_cube () = cube ~m:48 ~n:64 ~p:32
+
+let fresh_cache_dir () =
+  let d = Filename.temp_file "mmbcache" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let exec_native ~cache_dir ~dir src =
+  match Driver.exec ~dir ~cache_dir c_full src with
+  | Driver.Ok_ o -> o
+  | Driver.Failed ds ->
+      Fmt.epr "native bench program failed: %s@." (Driver.diags_to_string ds);
+      exit 1
+
+let bench_native () =
+  Fmt.pr "@.=== C12: native execution vs interpreter (§II) ===@.";
+  match Native.Toolchain.probe () with
+  | Error e ->
+      Fmt.pr "  skipped: %s@." (Native.Toolchain.describe_error e)
+  | Ok tc ->
+      Fmt.pr "  cc: %s%s@." tc.Native.Toolchain.cc
+        (if tc.Native.Toolchain.openmp then " (OpenMP live)"
+         else " (no OpenMP: sequential fallback)");
+      let data = native_cube () in
+      let cache_dir = fresh_cache_dir () in
+      Fmt.pr "  %-8s %12s %12s %13s %9s@." "prog" "interp(ms)" "native(ms)"
+        "compile(ms)" "speedup";
+      List.iter
+        (fun (name, src) ->
+          with_input data (fun dir ->
+              let interp =
+                wall (fun () -> run_prog ~c:c_full ~dir src)
+              in
+              (* Cold exec fills the cache; the compile-time gauge is the
+                 C compiler's share of it. *)
+              Support.Telemetry.reset ();
+              Support.Telemetry.set_enabled true;
+              ignore (exec_native ~cache_dir ~dir src);
+              let compile_ms =
+                match
+                  List.assoc_opt "native.compile_ns"
+                    (Support.Telemetry.gauges ())
+                with
+                | Some ns -> ns /. 1e6
+                | None -> 0.
+              in
+              Support.Telemetry.set_enabled false;
+              Support.Telemetry.reset ();
+              (* Warm path: frontend + lower + cache hit + run. *)
+              let native =
+                wall (fun () -> ignore (exec_native ~cache_dir ~dir src))
+              in
+              native_rows :=
+                (name, interp *. 1000., native *. 1000., compile_ms)
+                :: !native_rows;
+              Fmt.pr "  %-8s %12.1f %12.1f %13.1f %8.2fx@." name
+                (interp *. 1000.) (native *. 1000.) compile_ms
+                (interp /. native)))
+        native_progs;
+      instrumented "C12" (fun () ->
+          with_input data (fun dir ->
+              ignore
+                (exec_native ~cache_dir ~dir Eddy.Programs.fig1_temporal_mean)))
 
 (* --- C11: optimization-remark counts over the paper corpus ------------------------------------ *)
 
@@ -676,6 +774,43 @@ let bench_compare baseline_path =
   scaled_1d "elementwise" "elementwise add" (fun v w ->
       ignore (Nd.arith Runtime.Scalar.Add v w));
   scaled_1d "reduce" "sum reduction" (fun v _ -> ignore (Nd.sum_float v));
+  (* C12 rows: re-run each baselined program through the warm native path
+     and gate its wall time like any other kernel.  Without a C compiler
+     the rows are reported as skipped, never failed. *)
+  (match Option.bind (J.field "native" baseline) J.arr with
+  | None -> ()
+  | Some rows -> (
+      match Native.Toolchain.probe () with
+      | Error e ->
+          Fmt.epr "  baseline has native rows but %s — skipping@."
+            (Native.Toolchain.describe_error e)
+      | Ok _ ->
+          let cache_dir = fresh_cache_dir () in
+          let data = native_cube () in
+          List.iter
+            (fun row ->
+              match
+                ( Option.bind (J.field "prog" row) J.str,
+                  J.num_field row "native_ms" )
+              with
+              | Some prog, Some base_ms -> (
+                  match List.assoc_opt prog native_progs with
+                  | None ->
+                      Fmt.epr "  baseline native row %S unknown — skipping@."
+                        prog
+                  | Some src ->
+                      with_input data (fun dir ->
+                          (* first exec compiles; the timed reps hit the cache *)
+                          ignore (exec_native ~cache_dir ~dir src);
+                          let cur =
+                            wall ~reps:5 (fun () ->
+                                ignore (exec_native ~cache_dir ~dir src))
+                            *. 1000.
+                          in
+                          check ("native " ^ prog) ~baseline_ms:base_ms
+                            ~current_ms:cur))
+              | _ -> ())
+            rows));
   if !failures > 0 then begin
     Fmt.pr "@.%d kernel(s) regressed beyond %.0f%%.@." !failures
       ((compare_threshold -. 1.) *. 100.);
@@ -859,6 +994,7 @@ let () =
     bench_forkjoin ();
     bench_refcount ();
     bench_scaling ();
+    bench_native ();
     bench_blocked_kernels ~smoke:false ();
     bench_remarks ();
     write_bench_telemetry ();

@@ -376,6 +376,80 @@ let run_cmd =
       const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
       $ robustness_term $ remarks_arg $ telemetry_term $ src_arg)
 
+(* --- exec (native) ------------------------------------------------------------- *)
+
+let exec_cmd =
+  let cc_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cc" ] ~docv:"CC"
+             ~doc:"C compiler to drive (default: \\$(b,MMC_CC), then cc).")
+  in
+  let cflags_arg =
+    Arg.(value & opt_all string []
+         & info [ "cflags" ] ~docv:"FLAG"
+             ~doc:"Extra flag for the C compiler, after the defaults \
+                   (-O2 -Wall, plus -fopenmp when available). Repeatable.")
+  in
+  let keep_c_arg =
+    Arg.(value & opt (some string) None
+         & info [ "keep-c" ] ~docv:"FILE"
+             ~doc:"Also write the emitted self-contained C program to FILE, \
+                   with mm_runtime.h/mm_runtime.c beside it, so it can be \
+                   recompiled standalone.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Always recompile, bypassing the binary cache.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt string Native.Cache.default_dir
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Binary-cache directory (default _mmc_cache).")
+  in
+  let no_fuse =
+    Arg.(value & flag & info [ "no-fuse" ]
+         ~doc:"Library-style lowering: materialise with-loop temporaries.")
+  in
+  let no_copy_elim =
+    Arg.(value & flag & info [ "no-copy-elim" ]
+         ~doc:"Disable slice-copy elimination.")
+  in
+  let run exts_names threads data_dir cc cflags keep_c no_cache cache_dir
+      no_fuse no_copy_elim remarks tele file =
+    with_telemetry tele @@ fun () ->
+    let c = compose_or_die (resolve_exts exts_names) in
+    let dir = resolve_data_dir data_dir in
+    let src = read_source file in
+    with_remarks remarks ~src @@ fun () ->
+    let auto_par = threads > 1 in
+    let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
+    match
+      Driver.exec ~dir ~fuse:(not no_fuse) ~copy_elim:(not no_copy_elim)
+        ~auto_par ~warn ?cc ~cflags ?keep_c ~cache:(not no_cache) ~cache_dir
+        ~threads c src
+    with
+    | Driver.Ok_ o ->
+        Fmt.pr "result: %a@." Native.Exec.pp_value o.Native.Exec.value;
+        if o.Native.Exec.live > 0 then
+          Fmt.epr "warning: %d allocation(s) still live at exit@."
+            o.Native.Exec.live;
+        0
+    | Driver.Failed ds ->
+        Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
+        1
+  in
+  let doc =
+    "Translate to plain parallel C, compile with the system C compiler \
+     (cached by content hash), execute the native binary and print its \
+     result — bit-identical to $(b,run)."
+  in
+  Cmd.v (Cmd.info "exec" ~doc)
+    Term.(
+      const run $ exts_arg $ threads_arg $ data_dir_arg $ cc_arg $ cflags_arg
+      $ keep_c_arg $ no_cache_arg $ cache_dir_arg $ no_fuse $ no_copy_elim
+      $ remarks_arg $ telemetry_term $ src_arg)
+
 (* --- profile ------------------------------------------------------------------- *)
 
 let profile_cmd =
@@ -587,5 +661,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            analyze_cmd; check_cmd; emit_cmd; run_cmd; profile_cmd; explain_cmd;
+            analyze_cmd; check_cmd; emit_cmd; run_cmd; exec_cmd; profile_cmd;
+            explain_cmd;
           ]))

@@ -3,11 +3,18 @@
     C code, which can then be compiled for execution by a traditional
     compiler").
 
-    The output uses a small runtime header ([mm_runtime.h], emitted as a
-    preamble comment) exposing flat-buffer matrices with reference counts —
+    The output includes the real runtime header ([mm_runtime.h], shipped
+    in runtime/c/) exposing flat-buffer matrices with reference counts —
     the same API the paper's generated code calls — plus Intel SSE
     intrinsics for vectorized loops (Fig 11) and OpenMP pragmas for
-    parallelized ones. *)
+    parallelized ones.  [mm_float] is C [double]: the reference
+    interpreter evaluates float expressions in double precision, and
+    native output must agree bit-for-bit.
+
+    With [exec_harness] the entry function is renamed and a generated
+    [int main] prints the entry's result (and the live-allocation count)
+    through the runtime's result protocol, which [mmc exec] parses back
+    into the interpreter's value shape. *)
 
 open Ir
 module S = Runtime.Scalar
@@ -27,10 +34,34 @@ let prec_of = function
   | Unop _ -> 60
   | _ -> 100
 
+(* Float literals are mm_float (= double), so no [f] suffix — and they
+   must round-trip: the interpreter computes with the OCaml double the
+   literal denotes, and the C compiler must reconstruct that exact value. *)
 let float_lit f =
-  if Float.is_integer f && Float.abs f < 1e16 then
-    Printf.sprintf "%.1ff" f
-  else Printf.sprintf "%gf" f
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let short = Printf.sprintf "%g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+(* OCaml's %S uses decimal escapes ("\001"), which are invalid C; escape
+   by hand with octal for the rare non-printable byte. *)
+let c_string_lit s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+          Buffer.add_string buf (Printf.sprintf "\\%03o" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
 
 let rec expr ?(prec = 0) (e : expr) : string =
   let p = prec_of e in
@@ -39,7 +70,7 @@ let rec expr ?(prec = 0) (e : expr) : string =
     | Int i -> string_of_int i
     | Float f -> float_lit f
     | Bool b -> if b then "true" else "false"
-    | Str s -> Printf.sprintf "%S" s
+    | Str s -> c_string_lit s
     | Var v -> v
     | Binop (Arith op, a, b) ->
         Printf.sprintf "%s %s %s" (expr ~prec:p a) (arith_sym op)
@@ -53,7 +84,7 @@ let rec expr ?(prec = 0) (e : expr) : string =
     | Unop (Neg, a) -> Printf.sprintf "-%s" (expr ~prec:60 a)
     | Unop (Not, a) -> Printf.sprintf "!%s" (expr ~prec:60 a)
     | Unop (IntOfFloat, a) -> Printf.sprintf "(int) %s" (expr ~prec:60 a)
-    | Unop (FloatOfInt, a) -> Printf.sprintf "(float) %s" (expr ~prec:60 a)
+    | Unop (FloatOfInt, a) -> Printf.sprintf "(mm_float) %s" (expr ~prec:60 a)
     | Min (a, b) ->
         Printf.sprintf "mm_min(%s, %s)" (expr ~prec:0 a) (expr ~prec:0 b)
     | Call (f, args) ->
@@ -73,17 +104,20 @@ let rec expr ?(prec = 0) (e : expr) : string =
     | MSize m -> Printf.sprintf "mm_size(%s)" (expr ~prec:0 m)
     | MRead p -> Printf.sprintf "mm_read_matrix(%s)" (expr ~prec:0 p)
     | VecSplat a -> Printf.sprintf "_mm_set1_ps(%s)" (expr ~prec:0 a)
-    | VecGather (m, base, Int 1) ->
-        Printf.sprintf "_mm_loadu_ps(&%s->data[%s])" (expr ~prec:60 m)
-          (expr ~prec:0 base)
     | VecGather (m, base, stride) ->
-        (* SSE has no gather; pack 4 strided lanes (highest lane first, as
-           _mm_set_ps expects). *)
-        let b = expr ~prec:40 base and s = expr ~prec:50 stride in
+        (* Pack 4 lanes (highest lane first, as _mm_set_ps expects).  The
+           per-lane double -> float conversion is exactly the interpreter's
+           rounding of each gathered element through single precision;
+           stride 1 gets no loadu shortcut because the buffer is double. *)
         let d = expr ~prec:60 m in
-        Printf.sprintf
-          "_mm_set_ps(%s->data[%s + 3 * %s], %s->data[%s + 2 * %s], %s->data[%s + %s], %s->data[%s])"
-          d b s d b s d b s d b
+        let lane k =
+          let off =
+            fold_expr (Binop (Arith S.Add, base, Binop (Arith S.Mul, Int k, stride)))
+          in
+          Printf.sprintf "%s->data[%s]" d (expr ~prec:0 off)
+        in
+        Printf.sprintf "_mm_set_ps(%s, %s, %s, %s)" (lane 3) (lane 2) (lane 1)
+          (lane 0)
     | VecBin (op, a, b) ->
         let name =
           match op with
@@ -113,18 +147,40 @@ let ctype_decl t name =
   | CVec -> Printf.sprintf "__m128 %s" name
   | t -> Printf.sprintf "%s %s" (ctype_name t) name
 
+(* Return type of the function being emitted: a returned tuple literal
+   needs its struct name for a C compound literal. *)
+let cur_ret : ctype ref = ref CVoid
+
 let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (ind ^ s ^ "\n")) fmt in
   match s with
-  | Decl (t, n, None) -> line "%s;" (ctype_decl t n)
+  | Decl (t, n, None) ->
+      (* Initialiser-less declarations get the interpreter's type defaults
+         (Eval.default_of_type): a scope-exit mm_rc_dec on a never-assigned
+         matrix must see NULL, not stack garbage. *)
+      let init =
+        match t with
+        | CInt -> " = 0"
+        | CFloat -> " = 0.0"
+        | CBool -> " = false"
+        | CMat _ -> " = NULL"
+        | CVec -> " = _mm_set1_ps(0.0)"
+        | CTuple _ -> " = {0}"
+        | CVoid -> ""
+      in
+      line "%s%s;" (ctype_decl t n) init
   | Decl (t, n, Some e) -> line "%s = %s;" (ctype_decl t n) (expr e)
+  | Assign (lv, TupleE es) ->
+      (* A bare brace list is only valid in initialisers; an assigned
+         tuple literal needs a typed compound literal. *)
+      line "%s = (__typeof__(%s)){ %s };" (lvalue lv) (lvalue lv)
+        (String.concat ", " (List.map (expr ~prec:0) es))
   | Assign (lv, e) -> line "%s = %s;" (lvalue lv) (expr e)
   | MSetFlat (m, off, v) ->
       line "%s->data[%s] = %s;" (expr ~prec:60 m) (expr off) (expr v)
-  | VecScatter (m, base, Int 1, v) ->
-      line "_mm_storeu_ps(&%s->data[%s], %s);" (expr ~prec:60 m) (expr base)
-        (expr v)
   | VecScatter (m, base, stride, v) ->
+      (* No storeu shortcut for stride 1: the buffer is double, so lanes
+         widen one by one (exact, matching the interpreter's store). *)
       line "mm_scatter_ps(%s->data, %s, %s, %s);" (expr ~prec:60 m) (expr base)
         (expr stride) (expr v)
   | If (c, a, []) ->
@@ -154,6 +210,9 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
       line "}"
   | ExprS e -> line "%s;" (expr e)
   | Return None -> line "return;"
+  | Return (Some (TupleE es)) when (match !cur_ret with CTuple _ -> true | _ -> false) ->
+      line "return (%s){ %s };" (ctype_name !cur_ret)
+        (String.concat ", " (List.map (expr ~prec:0) es))
   | Return (Some e) -> line "return %s;" (expr e)
   | Break -> line "break;"
   | Continue -> line "continue;"
@@ -185,8 +244,7 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
 
 and block buf ind stmts = List.iter (stmt buf ind) stmts
 
-let func (f : func) : string =
-  let buf = Buffer.create 256 in
+let signature (f : func) : string =
   let params =
     match f.f_params with
     | [] -> "void"
@@ -197,10 +255,64 @@ let func (f : func) : string =
     | CMat (_, _) as t -> ctype_name t ^ " *"
     | t -> ctype_name t ^ " "
   in
-  Buffer.add_string buf (Printf.sprintf "%s%s(%s) {\n" ret f.f_name params);
+  Printf.sprintf "%s%s(%s)" ret f.f_name params
+
+let func (f : func) : string =
+  let buf = Buffer.create 256 in
+  cur_ret := f.f_ret;
+  Buffer.add_string buf (signature f ^ " {\n");
   block buf "  " f.f_body;
   Buffer.add_string buf "}\n";
+  cur_ret := CVoid;
   Buffer.contents buf
+
+(* --- whole-program sections -------------------------------------------- *)
+
+(* Tuple types lower to C structs, which need typedefs up front — nested
+   tuples first, so each struct's field types are already defined. *)
+let rec add_tuple_types acc t =
+  match t with
+  | CTuple ts ->
+      let acc = List.fold_left add_tuple_types acc ts in
+      if List.mem t acc then acc else acc @ [ t ]
+  | CInt | CFloat | CBool | CVoid | CMat _ | CVec -> acc
+
+let rec stmt_tuple_types acc s =
+  match s with
+  | Decl (t, _, _) -> add_tuple_types acc t
+  | If (_, a, b) ->
+      List.fold_left stmt_tuple_types (List.fold_left stmt_tuple_types acc a) b
+  | While (_, b) | Block b | Located (_, b) ->
+      List.fold_left stmt_tuple_types acc b
+  | For l | ParFor l -> List.fold_left stmt_tuple_types acc l.body
+  | _ -> acc
+
+let tuple_types (p : program) =
+  List.fold_left
+    (fun acc f ->
+      let acc = add_tuple_types acc f.f_ret in
+      let acc =
+        List.fold_left (fun a (t, _) -> add_tuple_types a t) acc f.f_params
+      in
+      List.fold_left stmt_tuple_types acc f.f_body)
+    [] p.funcs
+
+let tuple_typedef = function
+  | CTuple ts as t ->
+      let fields =
+        List.mapi (fun i ft -> ctype_decl ft (Printf.sprintf "f%d" i) ^ ";") ts
+      in
+      Printf.sprintf "typedef struct { %s } %s;" (String.concat " " fields)
+        (ctype_name t)
+  | _ -> invalid_arg "Emit.tuple_typedef"
+
+(* Forward declarations: lowered call graphs are not topologically sorted
+   (matrixMap helpers land after their caller), so every function gets a
+   prototype.  "main" is skipped — C gives it an implicit one. *)
+let prototypes (p : program) =
+  List.filter_map
+    (fun f -> if f.f_name = "main" then None else Some (signature f ^ ";"))
+    p.funcs
 
 let preamble =
   String.concat "\n"
@@ -209,20 +321,111 @@ let preamble =
       "   Matrix constructs have been translated to plain parallel C";
       "   over the mm_runtime flat-buffer matrix API. */";
       "#include <stdbool.h>";
-      "#include <xmmintrin.h>";
-      "#include <omp.h>";
       "#include \"mm_runtime.h\"";
       "";
     ]
 
-let program ?line_directives_file (p : program) : string =
-  line_file := line_directives_file;
-  let out =
-    Fun.protect
-      ~finally:(fun () -> line_file := None)
-      (fun () -> preamble ^ String.concat "\n" (List.map func p.funcs))
+(* --- exec harness ------------------------------------------------------ *)
+
+(* C reserves "main" for the harness's generated entry point; a program
+   whose entry is literally named main gets it renamed, call sites
+   included. *)
+let harness_entry_name = "mm_prog_main"
+
+let rename_entry (p : program) : program =
+  if p.main <> "main" then p
+  else
+    let fe = function
+      | Call ("main", args) -> Call (harness_entry_name, args)
+      | e -> e
+    in
+    let fs = function
+      | Spawn (lv, "main", args) -> Spawn (lv, harness_entry_name, args)
+      | s -> s
+    in
+    let funcs =
+      List.map
+        (fun f ->
+          {
+            f with
+            f_name = (if f.f_name = "main" then harness_entry_name else f.f_name);
+            f_body = map_stmts fe fs f.f_body;
+          })
+        p.funcs
+    in
+    { funcs; main = harness_entry_name }
+
+(* The interpreter binds absent entry arguments to type defaults
+   (Eval.default_of_type); the harness passes the same defaults. *)
+let default_arg = function
+  | CInt -> Int 0
+  | CFloat -> Float 0.
+  | CBool -> Bool false
+  | CMat _ -> Var "NULL"
+  | CVec -> VecSplat (Float 0.)
+  | CVoid | CTuple _ -> Int 0
+
+(* Statements printing value [e] of type [t] through the runtime's result
+   protocol (parsed back by Native.Exec). *)
+let rec result_stmts (t : ctype) (e : expr) : stmt list =
+  match t with
+  | CInt -> [ ExprS (Call ("mm_result_int", [ e ])) ]
+  | CFloat -> [ ExprS (Call ("mm_result_float", [ e ])) ]
+  | CBool -> [ ExprS (Call ("mm_result_bool", [ e ])) ]
+  | CVoid -> [ ExprS (Call ("mm_result_void", [])) ]
+  | CVec -> [ ExprS (Call ("mm_result_float", [ VecHsum e ])) ]
+  | CMat _ ->
+      [
+        If
+          ( e,
+            [ ExprS (Call ("mm_result_mat", [ e ])) ],
+            [ ExprS (Call ("mm_result_null", [])) ] );
+      ]
+  | CTuple ts ->
+      ExprS (Call ("mm_result_tuple", [ Int (List.length ts) ]))
+      :: List.concat (List.mapi (fun i ft -> result_stmts ft (Field (e, i))) ts)
+
+let harness_main (p : program) : func =
+  let entry =
+    match List.find_opt (fun f -> f.f_name = p.main) p.funcs with
+    | Some f -> f
+    | None -> invalid_arg ("Emit: unknown entry function " ^ p.main)
   in
-  out
+  let call =
+    Call (entry.f_name, List.map (fun (t, _) -> default_arg t) entry.f_params)
+  in
+  let body =
+    (match entry.f_ret with
+    | CVoid -> [ ExprS call; ExprS (Call ("mm_result_void", [])) ]
+    | t -> Decl (t, "__mm_r", Some call) :: result_stmts t (Var "__mm_r"))
+    @ [ ExprS (Call ("mm_result_live", [])); Return (Some (Int 0)) ]
+  in
+  { f_name = "main"; f_params = []; f_ret = CInt; f_body = body }
+
+(** [program ?line_directives_file ?exec_harness p] — the full translation
+    unit.  With [exec_harness] the entry function is renamed away from
+    [main] if necessary and a generated [int main] calls it, prints its
+    result (plus the live-allocation count) through the result protocol,
+    and returns 0 — making the output a complete, runnable program. *)
+let program ?line_directives_file ?(exec_harness = false) (p : program) :
+    string =
+  line_file := line_directives_file;
+  Fun.protect
+    ~finally:(fun () -> line_file := None)
+    (fun () ->
+      let p = if exec_harness then rename_entry p else p in
+      let p =
+        if exec_harness then { p with funcs = p.funcs @ [ harness_main p ] }
+        else p
+      in
+      let section = function
+        | [] -> ""
+        | lines -> String.concat "\n" lines ^ "\n\n"
+      in
+      preamble
+      ^ section (List.map tuple_typedef (tuple_types p))
+      ^ section (prototypes p)
+      ^ String.concat "\n" (List.map func p.funcs))
 
 (** Emission of a single statement list (golden tests on loop shapes). *)
 let stmts (ss : stmt list) : string =

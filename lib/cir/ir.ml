@@ -21,7 +21,9 @@ type ctype =
 
 let rec ctype_name = function
   | CInt -> "int"
-  | CFloat -> "float"
+  (* mm_float is C double (mm_runtime.h): the interpreter evaluates float
+     arithmetic in OCaml doubles, and native results must match bit-for-bit. *)
+  | CFloat -> "mm_float"
   | CBool -> "bool"
   | CVoid -> "void"
   | CMat (e, r) ->

@@ -272,8 +272,8 @@ let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false) ?warn
     plain parallel C out.  [line_file] turns on [#line] directives naming
     that file, so C-level debuggers and profilers point back at the
     original source. *)
-let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file (c : composed)
-    (src : string) : string outcome =
+let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?exec_harness
+    (c : composed) (src : string) : string outcome =
   match frontend c src with
   | Failed d -> Failed d
   | Ok_ ast -> (
@@ -282,7 +282,8 @@ let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file (c : composed)
       | Ok_ prog ->
           Ok_
             (Tel.with_span ~phase:"emit" "driver.emit" (fun () ->
-                 Cir.Emit.program ?line_directives_file:line_file prog)))
+                 Cir.Emit.program ?line_directives_file:line_file
+                   ?exec_harness prog)))
 
 (* --- runtime failure -> structured diagnostic --------------------------------- *)
 
@@ -356,6 +357,50 @@ let run ?fuse ?copy_elim ?auto_par ?warn ?pool ?dir ?(optimize = true)
               match runtime_failure_diag e with
               | Some diag -> Failed [ diag ]
               | None -> Printexc.raise_with_backtrace e bt)))
+
+(* --- native execution (mmc exec) --------------------------------------- *)
+
+(* Native failures carry no source span (they happen after emission), so
+   they anchor at the dummy span; the phase tells the two compile-time
+   classes (no compiler / emitted C rejected) apart from runtime crashes. *)
+let native_failure_diag (e : Native.Exec.error) =
+  let phase =
+    match e with
+    | Native.Exec.Toolchain_error _ -> "native-compile"
+    | Native.Exec.Run_failed _ | Native.Exec.Bad_output _ -> "native-run"
+  in
+  Support.Diag.error ~phase ~span:Support.Pos.dummy_span "%s"
+    (Native.Exec.describe_error e)
+
+(** [exec c src] — the native twin of {!run}: emit self-contained C (exec
+    harness included), compile it with the system toolchain through the
+    binary cache, run the binary in [dir], and parse its printed result.
+    The returned outcome's [value] matches what {!run} would have
+    produced, bit-for-bit. *)
+let exec ?fuse ?copy_elim ?auto_par ?warn ?dir ?cc ?(cflags = []) ?keep_c
+    ?(cache = true) ?cache_dir ?(threads = 1) (c : composed) (src : string) :
+    Native.Exec.outcome outcome =
+  match
+    compile_to_c ?fuse ?copy_elim ?auto_par ?warn ~exec_harness:true c src
+  with
+  | Failed d -> Failed d
+  | Ok_ c_text -> (
+      let dir =
+        match dir with
+        | Some d -> d
+        | None ->
+            let d = Filename.temp_file "mmcfs" "" in
+            Sys.remove d;
+            Sys.mkdir d 0o755;
+            d
+      in
+      match
+        Tel.with_span ~phase:"run" "driver.exec" (fun () ->
+            Native.Exec.run ?cc ~cflags ~cache ?cache_dir ?keep_c ~threads
+              ~dir c_text)
+      with
+      | Ok outcome -> Ok_ outcome
+      | Error e -> Failed [ native_failure_diag e ])
 
 (** [diags_to_string ?src ds] — rendered diagnostics; with [src] each one
     gains a clang-style source excerpt with a caret underline. *)

@@ -1,0 +1,68 @@
+(** Content-addressed cache of compiled native binaries.
+
+    A binary is keyed by everything that could change it: the emitted C
+    text, both runtime sources, the compiler name and the full flag list.
+    Any flag or source change therefore misses and recompiles; re-running
+    an unchanged program hits and skips the C compiler entirely.  Hits
+    and misses are counted and exported as [cache.hit]/[cache.miss]
+    telemetry gauges. *)
+
+let default_dir = "_mmc_cache"
+
+let hits = ref 0
+let misses = ref 0
+let hit_count () = !hits
+let miss_count () = !misses
+
+let reset_counts () =
+  hits := 0;
+  misses := 0
+
+let export_gauges () =
+  Support.Telemetry.set_gauge "cache.hit" (float_of_int !hits);
+  Support.Telemetry.set_gauge "cache.miss" (float_of_int !misses)
+
+(** [key ~toolchain c_text] — hex digest naming the binary this exact
+    (program, runtime, compiler configuration) triple compiles to. *)
+let key ~(toolchain : Toolchain.t) (c_text : string) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          ([ c_text; Runtime_c.header; Runtime_c.impl; toolchain.Toolchain.cc ]
+          @ Toolchain.flags toolchain)))
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let exe_path ~dir k = Filename.concat dir ("mm_" ^ k ^ ".exe")
+
+(** [lookup ~dir k] — cached binary for key [k], bumping the hit/miss
+    tally either way. *)
+let lookup ~dir k =
+  let path = exe_path ~dir k in
+  if Sys.file_exists path then begin
+    incr hits;
+    export_gauges ();
+    Some path
+  end
+  else begin
+    incr misses;
+    export_gauges ();
+    None
+  end
+
+(** Materialise the program and runtime sources for a compile (the cache
+    directory is also the build directory, so a failed compile leaves the
+    offending .c behind for inspection). *)
+let write_sources ~dir ~k c_text =
+  ensure_dir dir;
+  let c_file = Filename.concat dir ("mm_" ^ k ^ ".c") in
+  let write path text =
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc text)
+  in
+  write c_file c_text;
+  write (Filename.concat dir "mm_runtime.h") Runtime_c.header;
+  write (Filename.concat dir "mm_runtime.c") Runtime_c.impl;
+  (c_file, Filename.concat dir "mm_runtime.c")

@@ -1,0 +1,244 @@
+(** Native execution of emitted C: compile (through the binary cache),
+    run in the program's data directory, and parse the printed result
+    protocol back into the value the interpreter would have returned.
+
+    The generated [main] (see {!Cir.Emit} harness mode) prints
+    ["__mm_result ..."] lines using the runtime's result protocol plus a
+    final ["__mm_live N"] line, so a native run round-trips into exactly
+    the shape [mmc run] prints — the differential suite compares the two
+    bit-for-bit. *)
+
+module S = Runtime.Scalar
+module Nd = Runtime.Ndarray
+
+type value =
+  | RVoid
+  | RNull
+  | RScal of S.t
+  | RMat of Nd.t
+  | RTuple of value array
+
+(* Renders identically to [Interp.Eval.pp_value] so `mmc exec` output is
+   textually interchangeable with `mmc run`. *)
+let rec pp_value ppf = function
+  | RVoid -> Fmt.string ppf "void"
+  | RNull -> Fmt.string ppf "NULL"
+  | RScal s -> S.pp ppf s
+  | RMat m -> Nd.pp ppf m
+  | RTuple vs ->
+      Fmt.pf ppf "(%a)" (Fmt.array ~sep:(Fmt.any ", ") pp_value) vs
+
+type error =
+  | Toolchain_error of Toolchain.error
+  | Run_failed of { exit_code : int; stderr_text : string }
+  | Bad_output of string
+
+let describe_error = function
+  | Toolchain_error e -> Toolchain.describe_error e
+  | Run_failed { exit_code; stderr_text } ->
+      let detail = String.trim stderr_text in
+      if detail = "" then
+        Printf.sprintf "native binary exited with code %d" exit_code
+      else detail
+  | Bad_output m -> Printf.sprintf "cannot parse native output: %s" m
+
+type outcome = {
+  value : value;  (** the entry function's result *)
+  live : int;  (** allocations still live at exit (leak parity check) *)
+  exe : string;  (** the cached binary that ran *)
+  from_cache : bool;  (** true iff compilation was skipped *)
+}
+
+(* --- result-protocol parsing ------------------------------------------- *)
+
+exception Parse of string
+
+let parse_fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let parse_float_bits tok =
+  match Int64.of_string_opt tok with
+  | Some bits -> Int64.float_of_bits bits
+  | None -> parse_fail "bad float bits %S" tok
+
+(* [lines] is a mutable cursor over the binary's stdout. *)
+let next_line lines =
+  match !lines with
+  | [] -> parse_fail "output ended mid-result"
+  | l :: rest ->
+      lines := rest;
+      l
+
+let rec parse_result lines : value =
+  let l = next_line lines in
+  match split_ws l with
+  | [ "__mm_result"; "int"; v ] -> (
+      match int_of_string_opt v with
+      | Some i -> RScal (S.I i)
+      | None -> parse_fail "bad int %S" v)
+  | [ "__mm_result"; "float"; v ] -> RScal (S.F (parse_float_bits v))
+  | [ "__mm_result"; "bool"; v ] -> RScal (S.B (v <> "0"))
+  | [ "__mm_result"; "void" ] -> RVoid
+  | [ "__mm_result"; "null" ] -> RNull
+  | [ "__mm_result"; "tuple"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 ->
+          RTuple (Array.init n (fun _ -> parse_result lines))
+      | _ -> parse_fail "bad tuple arity %S" n)
+  | "__mm_result" :: "mat" :: kind :: rank :: dims -> (
+      let rank =
+        match int_of_string_opt rank with
+        | Some r when r >= 0 -> r
+        | _ -> parse_fail "bad matrix rank %S" rank
+      in
+      if List.length dims <> rank then
+        parse_fail "matrix rank %d but %d extents" rank (List.length dims);
+      let shape =
+        Array.of_list
+          (List.map
+             (fun d ->
+               match int_of_string_opt d with
+               | Some e when e >= 0 -> e
+               | _ -> parse_fail "bad extent %S" d)
+             dims)
+      in
+      let data = next_line lines in
+      match split_ws data with
+      | "__mm_data" :: elems -> (
+          let n = Array.fold_left ( * ) 1 shape in
+          if List.length elems <> n then
+            parse_fail "matrix with %d elements but %d data tokens" n
+              (List.length elems);
+          let elems = Array.of_list elems in
+          match kind with
+          | "f" ->
+              RMat
+                (Nd.of_float_array shape (Array.map parse_float_bits elems))
+          | "i" ->
+              RMat
+                (Nd.of_int_array shape
+                   (Array.map
+                      (fun t ->
+                        match int_of_string_opt t with
+                        | Some i -> i
+                        | None -> parse_fail "bad int element %S" t)
+                      elems))
+          | "b" -> RMat (Nd.of_bool_array shape (Array.map (( <> ) "0") elems))
+          | k -> parse_fail "unknown matrix kind %S" k)
+      | _ -> parse_fail "expected __mm_data line, got %S" data)
+  | _ -> parse_fail "unexpected result line %S" l
+
+let parse_output text : (value * int, error) result =
+  let all_lines = String.split_on_char '\n' text in
+  (* The program itself prints nothing on stdout; tolerate stray lines by
+     starting the protocol at the first __mm_ marker. *)
+  let protocol =
+    List.filter
+      (fun l ->
+        String.length l >= 5 && String.sub l 0 5 = "__mm_")
+      all_lines
+  in
+  match protocol with
+  | [] -> Error (Bad_output "no __mm_result line in program output")
+  | _ -> (
+      let lines = ref protocol in
+      match parse_result lines with
+      | exception Parse m -> Error (Bad_output m)
+      | value -> (
+          match !lines with
+          | [ live_line ] -> (
+              match split_ws live_line with
+              | [ "__mm_live"; n ] -> (
+                  match int_of_string_opt n with
+                  | Some live -> Ok (value, live)
+                  | None -> Error (Bad_output "bad __mm_live count"))
+              | _ -> Error (Bad_output "missing __mm_live trailer"))
+          | [] -> Error (Bad_output "missing __mm_live trailer")
+          | l :: _ ->
+              Error
+                (Bad_output
+                   (Printf.sprintf "trailing protocol line %S" l))))
+
+(* --- compile + run ------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let keep_c_sources ~keep_c c_text =
+  Option.iter
+    (fun path ->
+      let dir = Filename.dirname path in
+      mkdir_p dir;
+      let write p text =
+        Out_channel.with_open_text p (fun oc ->
+            Out_channel.output_string oc text)
+      in
+      write path c_text;
+      write (Filename.concat dir "mm_runtime.h") Runtime_c.header;
+      write (Filename.concat dir "mm_runtime.c") Runtime_c.impl)
+    keep_c
+
+(** [run ?cc ?cflags ?cache ?cache_dir ?keep_c ?threads ~dir c_text] —
+    the whole native path: probe the toolchain, hit or fill the binary
+    cache, execute in [dir] (where readMatrix/writeMatrix files live)
+    with [OMP_NUM_THREADS=threads], and parse the result protocol. *)
+let run ?cc ?(cflags = []) ?(cache = true) ?(cache_dir = Cache.default_dir)
+    ?keep_c ?(threads = 1) ~dir (c_text : string) : (outcome, error) result =
+  match Toolchain.probe ?cc ~cflags () with
+  | Error e -> Error (Toolchain_error e)
+  | Ok tc -> (
+      Support.Telemetry.set_gauge "native.openmp" (if tc.openmp then 1. else 0.);
+      keep_c_sources ~keep_c c_text;
+      let k = Cache.key ~toolchain:tc c_text in
+      let cached = if cache then Cache.lookup ~dir:cache_dir k else None in
+      let compiled =
+        match cached with
+        | Some exe -> Ok (exe, true)
+        | None -> (
+            let c_file, runtime_c = Cache.write_sources ~dir:cache_dir ~k c_text in
+            let exe = Cache.exe_path ~dir:cache_dir k in
+            let t0 = Support.Telemetry.now_ns () in
+            match Toolchain.compile tc ~c_files:[ c_file; runtime_c ] ~out:exe with
+            | Ok () ->
+                Support.Telemetry.set_gauge "native.compile_ns"
+                  (float_of_int (Support.Telemetry.now_ns () - t0));
+                Ok (exe, false)
+            | Error e -> Error (Toolchain_error e))
+      in
+      match compiled with
+      | Error e -> Error e
+      | Ok (exe, from_cache) -> (
+          let out = Filename.temp_file "mmc_exec" ".out" in
+          let err = Filename.temp_file "mmc_exec" ".err" in
+          (* Run with cwd = data dir so matrix paths resolve exactly like
+             the interpreter's virtual filesystem rooted at [dir]. *)
+          let abs_exe =
+            if Filename.is_relative exe then
+              Filename.concat (Sys.getcwd ()) exe
+            else exe
+          in
+          let cmd =
+            Printf.sprintf "cd %s && OMP_NUM_THREADS=%d %s > %s 2> %s"
+              (Filename.quote dir) (max 1 threads) (Filename.quote abs_exe)
+              (Filename.quote out) (Filename.quote err)
+          in
+          let t0 = Support.Telemetry.now_ns () in
+          let code = Sys.command cmd in
+          Support.Telemetry.set_gauge "native.run_ns"
+            (float_of_int (Support.Telemetry.now_ns () - t0));
+          let stdout_text = In_channel.with_open_bin out In_channel.input_all in
+          let stderr_text = In_channel.with_open_bin err In_channel.input_all in
+          List.iter
+            (fun f -> try Sys.remove f with Sys_error _ -> ())
+            [ out; err ];
+          if code <> 0 then
+            Error (Run_failed { exit_code = code; stderr_text })
+          else
+            match parse_output stdout_text with
+            | Error e -> Error e
+            | Ok (value, live) -> Ok { value; live; exe; from_cache }))

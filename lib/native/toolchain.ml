@@ -1,0 +1,125 @@
+(** System C toolchain discovery and compilation for [mmc exec] (§II: the
+    emitted plain parallel C is "compiled for execution by a traditional
+    compiler").
+
+    The compiler is probed once per (cc, flags) configuration: first a
+    trivial translation unit (is there a working compiler at all?), then
+    the same unit under [-fopenmp] (do parallel loops get real OpenMP
+    threads, or do the pragmas fall back to sequential execution?).  Probe
+    results are memoised for the process lifetime, so test suites that
+    exec many programs pay for the probe once. *)
+
+type t = {
+  cc : string;  (** compiler command, e.g. ["cc"] *)
+  cflags : string list;  (** extra user flags, after the defaults *)
+  openmp : bool;  (** [-fopenmp] accepted: ParFor pragmas are live *)
+}
+
+type error =
+  | No_compiler of { cc : string; detail : string }
+      (** no working C compiler under this name *)
+  | Compile_failed of { cmd : string; output : string }
+      (** the generated program failed to compile — an emitter bug *)
+
+let describe_error = function
+  | No_compiler { cc; detail } ->
+      Printf.sprintf "no working C compiler %S (%s)" cc detail
+  | Compile_failed { cmd; output } ->
+      Printf.sprintf "C compilation failed: %s\n%s" cmd (String.trim output)
+
+let default_cc () =
+  match Sys.getenv_opt "MMC_CC" with Some c when c <> "" -> c | _ -> "cc"
+
+(* Run [cmd], capturing stdout+stderr; returns (exit code, output). *)
+let run_command cmd =
+  let out = Filename.temp_file "mmc_cc" ".out" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>&1" cmd (Filename.quote out)) in
+  let text = In_channel.with_open_bin out In_channel.input_all in
+  (try Sys.remove out with Sys_error _ -> ());
+  (code, text)
+
+let quote = Filename.quote
+
+(* --- probing ---------------------------------------------------------- *)
+
+let probe_cache : (string, (t, error) result) Hashtbl.t = Hashtbl.create 4
+
+let try_compile ~cc ~flags ~src_text =
+  let dir = Filename.temp_file "mmc_probe" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let src = Filename.concat dir "probe.c" in
+  let exe = Filename.concat dir "probe.exe" in
+  Out_channel.with_open_text src (fun oc ->
+      Out_channel.output_string oc src_text);
+  let cmd =
+    Printf.sprintf "%s %s -o %s %s" cc
+      (String.concat " " (List.map quote flags))
+      (quote exe) (quote src)
+  in
+  let code, output = run_command cmd in
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [ src; exe ];
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  if code = 0 then Ok () else Error (cmd, output)
+
+(** [probe ?cc ?cflags ()] — locate a working compiler and decide whether
+    OpenMP is available under it.  Memoised per configuration. *)
+let probe ?cc ?(cflags = []) () : (t, error) result =
+  let cc = match cc with Some c when c <> "" -> c | _ -> default_cc () in
+  let key = cc ^ "\x00" ^ String.concat "\x00" cflags in
+  match Hashtbl.find_opt probe_cache key with
+  | Some r -> r
+  | None ->
+      let trivial = "int main(void) { return 0; }\n" in
+      let r =
+        match try_compile ~cc ~flags:cflags ~src_text:trivial with
+        | Error (_, output) ->
+            Error
+              (No_compiler
+                 {
+                   cc;
+                   detail =
+                     (match String.trim output with
+                     | "" -> "command failed"
+                     | s ->
+                         (* first line is enough: "cc: command not found" *)
+                         (match String.index_opt s '\n' with
+                         | Some i -> String.sub s 0 i
+                         | None -> s));
+                 })
+        | Ok () ->
+            let openmp =
+              match
+                try_compile ~cc ~flags:("-fopenmp" :: cflags)
+                  ~src_text:trivial
+              with
+              | Ok () -> true
+              | Error _ -> false
+            in
+            Ok { cc; cflags; openmp }
+      in
+      Hashtbl.replace probe_cache key r;
+      r
+
+(** The flags a toolchain compiles generated programs with, in command
+    order.  Without OpenMP the pragmas are dead text, so the unknown-
+    pragma warning is silenced to stay clean under [-Wall]. *)
+let flags t =
+  [ "-O2"; "-Wall" ]
+  @ (if t.openmp then [ "-fopenmp" ] else [ "-Wno-unknown-pragmas" ])
+  @ t.cflags
+
+(** [compile t ~c_files ~out] — compile and link [c_files] into [out].
+    Returns the full command on failure so the driver's diagnostic shows
+    exactly what was attempted. *)
+let compile t ~c_files ~out : (unit, error) result =
+  let cmd =
+    Printf.sprintf "%s %s -o %s %s" t.cc
+      (String.concat " " (List.map quote (flags t)))
+      (quote out)
+      (String.concat " " (List.map quote c_files))
+  in
+  let code, output = run_command cmd in
+  if code = 0 then Ok () else Error (Compile_failed { cmd; output })

@@ -1,0 +1,164 @@
+/* mm_runtime — the flat-buffer matrix runtime backing the C code that
+ * mmc emits (§II: "translate it down to plain C code, which can then be
+ * compiled for execution by a traditional compiler").
+ *
+ * Semantics mirror the reference interpreter exactly so `mmc exec` is
+ * bit-identical to `mmc run`:
+ *   - mm_float is double: the interpreter evaluates float expressions in
+ *     IEEE double precision.
+ *   - SSE lanes are genuine 32-bit floats: the interpreter rounds every
+ *     vector load/op/store through single precision, and the horizontal
+ *     sum accumulates the four lanes in double, in lane order.
+ *   - readMatrix/writeMatrix speak the interpreter's MMAT1 container
+ *     byte-for-byte (big-endian header, one decimal line per element,
+ *     floats as the decimal value of their IEEE-754 bit pattern).
+ */
+#ifndef MM_RUNTIME_H
+#define MM_RUNTIME_H
+
+#include <stdbool.h>
+
+typedef double mm_float;
+
+#define MM_MAX_RANK 16
+
+/* Element kinds, matching the MMAT1 container's kind byte. */
+#define MM_KIND_FLOAT 'f'
+#define MM_KIND_INT 'i'
+#define MM_KIND_BOOL 'b'
+
+/* All three matrix structs share a layout prefix (rc, kind, rank, elems,
+ * dims) so mm_rc_inc/mm_rc_dec/mm_size/mm_write_matrix can take any of
+ * them through void *. */
+#define MM_MAT_HEADER                                                         \
+  int rc;                                                                     \
+  int kind;                                                                   \
+  int rank;                                                                   \
+  int elems;                                                                  \
+  int dims[MM_MAX_RANK]
+
+typedef struct {
+  MM_MAT_HEADER;
+  mm_float *data;
+} mm_mat_float;
+
+typedef struct {
+  MM_MAT_HEADER;
+  int *data;
+} mm_mat_int;
+
+typedef struct {
+  MM_MAT_HEADER;
+  bool *data;
+} mm_mat_bool;
+
+/* The emitter names matrix types by element and static rank
+ * (mm_mat_float3, mm_mat_int1, ...); the rank is carried in the type
+ * name only, so each is an alias of the per-element struct. */
+typedef mm_mat_float mm_mat_float1, mm_mat_float2, mm_mat_float3,
+    mm_mat_float4, mm_mat_float5, mm_mat_float6, mm_mat_float7, mm_mat_float8;
+typedef mm_mat_int mm_mat_int1, mm_mat_int2, mm_mat_int3, mm_mat_int4,
+    mm_mat_int5, mm_mat_int6, mm_mat_int7, mm_mat_int8;
+typedef mm_mat_bool mm_mat_bool1, mm_mat_bool2, mm_mat_bool3, mm_mat_bool4,
+    mm_mat_bool5, mm_mat_bool6, mm_mat_bool7, mm_mat_bool8;
+
+/* Allocation (zero-initialised, refcount 1) and reference counting.
+ * mm_rc_dec frees buffer and header when the count reaches zero; both
+ * tolerate NULL so generated cleanup code needs no guards. */
+mm_mat_float *mm_alloc_float(int rank, ...);
+mm_mat_int *mm_alloc_int(int rank, ...);
+mm_mat_bool *mm_alloc_bool(int rank, ...);
+void mm_rc_inc(void *m);
+void mm_rc_dec(void *m);
+int mm_size(const void *m);
+int mm_live_count(void);
+
+/* MMAT1 container I/O (readMatrix/writeMatrix builtins).  Paths resolve
+ * like the interpreter's virtual filesystem: '/' and '\' map to '_',
+ * relative to the current working directory. */
+void *mm_read_matrix(const char *path);
+void mm_write_matrix(const char *path, const void *m);
+
+/* Abort with an "mm_runtime: ..." diagnostic on stderr and exit code 70
+ * (the runtime-failure exit the mmc driver maps back to a diagnostic). */
+void mm_fatal(const char *fmt, ...);
+
+/* Result protocol: the generated main prints the entry function's result
+ * as "__mm_result ..." lines that `mmc exec` parses back into the same
+ * value the interpreter would return, then a final "__mm_live N" line
+ * with the allocations still live (the interpreter warns on the same
+ * number). */
+void mm_result_int(int v);
+void mm_result_float(mm_float v);
+void mm_result_bool(bool v);
+void mm_result_void(void);
+void mm_result_null(void);
+void mm_result_tuple(int fields);
+void mm_result_mat(const void *m);
+void mm_result_live(void);
+
+/* Integer minimum (tile-boundary bounds from the transform extension). */
+static inline int mm_min(int a, int b) { return a < b ? a : b; }
+
+/* Cilk elision (§VIII future work): serial semantics, as the paper's
+ * spawn sites are all joined by an implicit sync before use. */
+#define cilk_spawn
+#define cilk_sync ((void)0)
+
+/* --- simulated SSE (Fig 11) --------------------------------------------
+ * With real SSE the intrinsics come from xmmintrin.h; elsewhere a plain
+ * 4-lane float struct provides the same operations, so emitted C stays
+ * portable.  Lanes are single precision in both cases — exactly the
+ * precision the interpreter's vector unit rounds through. */
+#if defined(__SSE__) || defined(_M_X64) || defined(_M_IX86_FP)
+#include <xmmintrin.h>
+#define MM_HAVE_SSE 1
+#else
+typedef struct {
+  float mm_lane[4];
+} __m128;
+
+static inline __m128 _mm_set1_ps(float x) {
+  __m128 r;
+  for (int k = 0; k < 4; k++) r.mm_lane[k] = x;
+  return r;
+}
+
+/* _mm_set_ps takes lanes highest-first. */
+static inline __m128 _mm_set_ps(float w3, float w2, float w1, float w0) {
+  __m128 r;
+  r.mm_lane[0] = w0;
+  r.mm_lane[1] = w1;
+  r.mm_lane[2] = w2;
+  r.mm_lane[3] = w3;
+  return r;
+}
+
+#define MM_DEF_VBIN(name, op)                                                 \
+  static inline __m128 name(__m128 a, __m128 b) {                             \
+    __m128 r;                                                                 \
+    for (int k = 0; k < 4; k++) r.mm_lane[k] = a.mm_lane[k] op b.mm_lane[k];  \
+    return r;                                                                 \
+  }
+MM_DEF_VBIN(_mm_add_ps, +)
+MM_DEF_VBIN(_mm_sub_ps, -)
+MM_DEF_VBIN(_mm_mul_ps, *)
+MM_DEF_VBIN(_mm_div_ps, /)
+#undef MM_DEF_VBIN
+#endif
+
+/* Lane-wise float modulo (no SSE equivalent; the interpreter rejects
+ * vector modulo, so this exists only to keep every emitted operator
+ * linkable). */
+__m128 mm_mod_ps(__m128 a, __m128 b);
+
+/* Strided scatter of the 4 lanes into a double buffer:
+ * data[base + k*stride] = lane k.  Stride 1 covers _mm_storeu_ps sites;
+ * widening float -> double is exact, matching the interpreter's store. */
+void mm_scatter_ps(mm_float *data, int base, int stride, __m128 v);
+
+/* Horizontal sum: lanes accumulate in double, lane 0 first — the exact
+ * order and precision of the interpreter's fold over the vector. */
+mm_float mm_hsum_ps(__m128 v);
+
+#endif /* MM_RUNTIME_H */

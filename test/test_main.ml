@@ -15,4 +15,5 @@ let () =
       ("profile", Test_profile.suite);
       ("explain", Test_explain.suite);
       ("faults", Test_faults.suite);
+      ("native", Test_native.suite);
     ]
