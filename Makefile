@@ -6,7 +6,7 @@
 # neither the perf plumbing of bench/ nor the `mmc profile --json` /
 # `mmc explain --json` schemas can bit-rot silently.
 
-.PHONY: all test bench bench-smoke bench-compare stress native-check profile-check explain-check check clean
+.PHONY: all test bench bench-smoke bench-compare stress native-check profile-check profile-native-check explain-check check clean
 
 all:
 	dune build
@@ -50,6 +50,20 @@ profile-check: all
 	  > _build/profile_check.json
 	dune exec bench/main.exe -- --check-profile-json _build/profile_check.json
 
+# Same contract for the native profiler: compile an example with
+# instrumentation, run it, and validate `mmc profile --native --json`
+# against the same schema checker — so the interpreted and native
+# reports cannot drift apart.  Skips with a notice when no C compiler
+# is installed, mirroring the native-check convention.
+profile-native-check: all
+	@if command -v $${MMC_CC:-cc} >/dev/null 2>&1; then \
+	  dune exec bin/mmc.exe -- profile examples/eddy_energy.mc --native --json \
+	    > _build/profile_native_check.json && \
+	  dune exec bench/main.exe -- --check-profile-json _build/profile_native_check.json; \
+	else \
+	  echo "profile-native-check: SKIP (no C compiler: $${MMC_CC:-cc} not found)"; \
+	fi
+
 # Collect optimization remarks for an example and validate the
 # machine-readable output against the schema checker in the bench binary.
 explain-check: all
@@ -57,7 +71,7 @@ explain-check: all
 	  > _build/explain_check.json
 	dune exec bench/main.exe -- --check-explain-json _build/explain_check.json
 
-check: all test bench-smoke stress native-check profile-check explain-check
+check: all test bench-smoke stress native-check profile-check profile-native-check explain-check
 
 clean:
 	dune clean

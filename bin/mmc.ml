@@ -205,7 +205,16 @@ let emit_cmd =
          ~doc:"Emit #line directives pointing C tools (debuggers, \
                profilers) back at the original extended-C source.")
   in
-  let run exts_names no_fuse auto_par line_directives remarks tele file =
+  let instrument =
+    Arg.(value & flag & info [ "instrument" ]
+         ~doc:"Wrap provenance-carrying loops in mm_prof enter/exit \
+               calls over a generated span table, so the compiled \
+               program can attribute native wall time to source spans \
+               (what $(b,profile --native) compiles). Requires \
+               mm_prof.h/mm_prof.c from runtime/c/ to build standalone.")
+  in
+  let run exts_names no_fuse auto_par line_directives instrument remarks tele
+      file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
     let src = read_source file in
@@ -217,7 +226,8 @@ let emit_cmd =
     in
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     match
-      Driver.compile_to_c ~fuse:(not no_fuse) ~auto_par ~warn ?line_file c src
+      Driver.compile_to_c ~fuse:(not no_fuse) ~auto_par ~warn ?line_file
+        ~instrument c src
     with
     | Driver.Ok_ text ->
         print_string text;
@@ -229,8 +239,8 @@ let emit_cmd =
   let doc = "Translate extended C down to plain parallel C (§II)." in
   Cmd.v (Cmd.info "emit" ~doc)
     Term.(
-      const run $ exts_arg $ fuse $ auto_par $ line_directives $ remarks_arg
-      $ telemetry_term $ src_arg)
+      const run $ exts_arg $ fuse $ auto_par $ line_directives $ instrument
+      $ remarks_arg $ telemetry_term $ src_arg)
 
 (* --- run / profile (shared runtime options) ------------------------------------ *)
 
@@ -376,37 +386,45 @@ let run_cmd =
       const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
       $ robustness_term $ remarks_arg $ telemetry_term $ src_arg)
 
+(* --- native toolchain options (exec / profile --native) ------------------------ *)
+
+let cc_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cc" ] ~docv:"CC"
+           ~doc:"C compiler to drive (default: \\$(b,MMC_CC), then cc).")
+
+let cflags_arg =
+  Arg.(value & opt_all string []
+       & info [ "cflags" ] ~docv:"FLAG"
+           ~doc:"Extra flag for the C compiler, after the defaults \
+                 (-O2 -Wall, plus -fopenmp when available). Repeatable.")
+
+let keep_c_arg =
+  Arg.(value & opt (some string) None
+       & info [ "keep-c" ] ~docv:"FILE"
+           ~doc:"Also write the emitted self-contained C program to FILE, \
+                 with its runtime sources beside it, so it can be \
+                 recompiled standalone.")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Always recompile, bypassing the binary cache.")
+
+let cache_dir_arg =
+  Arg.(value & opt string Native.Cache.default_dir
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Binary-cache directory (default _mmc_cache).")
+
+let native_opts_term =
+  Term.(
+    const (fun cc cflags keep_c no_cache cache_dir ->
+        (cc, cflags, keep_c, no_cache, cache_dir))
+    $ cc_arg $ cflags_arg $ keep_c_arg $ no_cache_arg $ cache_dir_arg)
+
 (* --- exec (native) ------------------------------------------------------------- *)
 
 let exec_cmd =
-  let cc_arg =
-    Arg.(value & opt (some string) None
-         & info [ "cc" ] ~docv:"CC"
-             ~doc:"C compiler to drive (default: \\$(b,MMC_CC), then cc).")
-  in
-  let cflags_arg =
-    Arg.(value & opt_all string []
-         & info [ "cflags" ] ~docv:"FLAG"
-             ~doc:"Extra flag for the C compiler, after the defaults \
-                   (-O2 -Wall, plus -fopenmp when available). Repeatable.")
-  in
-  let keep_c_arg =
-    Arg.(value & opt (some string) None
-         & info [ "keep-c" ] ~docv:"FILE"
-             ~doc:"Also write the emitted self-contained C program to FILE, \
-                   with mm_runtime.h/mm_runtime.c beside it, so it can be \
-                   recompiled standalone.")
-  in
-  let no_cache_arg =
-    Arg.(value & flag
-         & info [ "no-cache" ]
-             ~doc:"Always recompile, bypassing the binary cache.")
-  in
-  let cache_dir_arg =
-    Arg.(value & opt string Native.Cache.default_dir
-         & info [ "cache-dir" ] ~docv:"DIR"
-             ~doc:"Binary-cache directory (default _mmc_cache).")
-  in
   let no_fuse =
     Arg.(value & flag & info [ "no-fuse" ]
          ~doc:"Library-style lowering: materialise with-loop temporaries.")
@@ -415,19 +433,30 @@ let exec_cmd =
     Arg.(value & flag & info [ "no-copy-elim" ]
          ~doc:"Disable slice-copy elimination.")
   in
-  let run exts_names threads data_dir cc cflags keep_c no_cache cache_dir
-      no_fuse no_copy_elim remarks tele file =
+  let line_directives =
+    Arg.(value & flag & info [ "line-directives" ]
+         ~doc:"Emit #line directives in the generated C (visible through \
+               --keep-c and in the cache directory), pointing C tools \
+               back at the original extended-C source.")
+  in
+  let run exts_names threads data_dir (cc, cflags, keep_c, no_cache, cache_dir)
+      no_fuse no_copy_elim line_directives remarks tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
     let dir = resolve_data_dir data_dir in
     let src = read_source file in
     with_remarks remarks ~src @@ fun () ->
     let auto_par = threads > 1 in
+    let line_file =
+      if line_directives then
+        Some (if file = "-" then "<stdin>" else file)
+      else None
+    in
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     match
       Driver.exec ~dir ~fuse:(not no_fuse) ~copy_elim:(not no_copy_elim)
-        ~auto_par ~warn ?cc ~cflags ?keep_c ~cache:(not no_cache) ~cache_dir
-        ~threads c src
+        ~auto_par ~warn ?cc ~cflags ?keep_c ?line_file ~cache:(not no_cache)
+        ~cache_dir ~threads c src
     with
     | Driver.Ok_ o ->
         Fmt.pr "result: %a@." Native.Exec.pp_value o.Native.Exec.value;
@@ -446,9 +475,9 @@ let exec_cmd =
   in
   Cmd.v (Cmd.info "exec" ~doc)
     Term.(
-      const run $ exts_arg $ threads_arg $ data_dir_arg $ cc_arg $ cflags_arg
-      $ keep_c_arg $ no_cache_arg $ cache_dir_arg $ no_fuse $ no_copy_elim
-      $ remarks_arg $ telemetry_term $ src_arg)
+      const run $ exts_arg $ threads_arg $ data_dir_arg $ native_opts_term
+      $ no_fuse $ no_copy_elim $ line_directives $ remarks_arg
+      $ telemetry_term $ src_arg)
 
 (* --- profile ------------------------------------------------------------------- *)
 
@@ -470,8 +499,26 @@ let profile_cmd =
          & info [ "top" ] ~docv:"N"
              ~doc:"Rows to show in the hot-loop table (default 15).")
   in
+  let native =
+    Arg.(value & flag
+         & info [ "native" ]
+             ~doc:"Profile the native binary instead of the interpreter: \
+                   compile with --instrument (through the binary cache), \
+                   run it, and render the binary's own span-attributed \
+                   profile through the same table/--json/--folded \
+                   outputs.")
+  in
+  let diff_native =
+    Arg.(value & flag
+         & info [ "diff-native" ]
+             ~doc:"Profile both the interpreter and the instrumented \
+                   native binary, then join the two profiles span by \
+                   span: per-loop native speedup, flagging spans whose \
+                   gain lags the program-level ratio.")
+  in
   let run exts_names threads data_dir block grain robust json folded top
-      remarks tele file =
+      native diff_native (cc, cflags, keep_c, no_cache, cache_dir) remarks
+      tele file =
     with_telemetry tele @@ fun () ->
     set_kernel_knobs block grain;
     let c = compose_or_die (resolve_exts exts_names) in
@@ -479,22 +526,67 @@ let profile_cmd =
     let src = read_source file in
     with_remarks remarks ~src @@ fun () ->
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
-    let exec pool =
-      with_robustness robust pool @@ fun () ->
-      let outcome, report =
-        Driver.profile ~dir ?pool ~auto_par:(threads > 1) ~warn c src []
+    let fail ds =
+      Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
+      1
+    in
+    let dump_folded report =
+      Option.iter
+        (fun path ->
+          try
+            Out_channel.with_open_text path (fun oc ->
+                List.iter
+                  (fun l -> Out_channel.output_string oc (l ^ "\n"))
+                  (Driver.Profile_report.folded_lines report))
+          with Sys_error m -> Fmt.epr "mmc: cannot write folded: %s@." m)
+        folded
+    in
+    let profile_native () =
+      Driver.profile_native ~dir ~warn ?cc ~cflags ?keep_c
+        ~cache:(not no_cache) ~cache_dir ~threads c src
+    in
+    let interp_profile k =
+      let body pool =
+        with_robustness robust pool @@ fun () ->
+        let outcome, report =
+          Driver.profile ~dir ?pool ~auto_par:(threads > 1) ~warn c src []
+        in
+        k outcome report
       in
-      let dump_folded () =
-        Option.iter
-          (fun path ->
-            try
-              Out_channel.with_open_text path (fun oc ->
-                  List.iter
-                    (fun l -> Out_channel.output_string oc (l ^ "\n"))
-                    (Driver.Profile_report.folded_lines ()))
-            with Sys_error m -> Fmt.epr "mmc: cannot write folded: %s@." m)
-          folded
-      in
+      if threads > 1 then
+        Runtime.Pool.with_pool threads (fun pool -> body (Some pool))
+      else body None
+    in
+    if diff_native then
+      interp_profile @@ fun outcome interp_report ->
+      match outcome with
+      | Driver.Failed ds -> fail ds
+      | Driver.Ok_ _ -> (
+          match profile_native () with
+          | Driver.Failed ds -> fail ds
+          | Driver.Ok_ (_, native_report) ->
+              let d =
+                Driver.Profile_report.diff_reports ~src ~interp:interp_report
+                  ~native:native_report
+              in
+              if json then
+                print_string (Driver.Profile_report.diff_to_json d ^ "\n")
+              else print_string (Driver.Profile_report.diff_to_string d);
+              0)
+    else if native then
+      match profile_native () with
+      | Driver.Failed ds -> fail ds
+      | Driver.Ok_ (o, report) ->
+          if json then
+            print_string (Driver.Profile_report.to_json ~src report ^ "\n")
+          else begin
+            Fmt.pr "result: %a@." Native.Exec.pp_value o.Native.Exec.value;
+            print_string (Driver.Profile_report.to_string ~top ~src report)
+          end;
+          dump_folded report;
+          0
+    else
+      interp_profile @@ fun outcome report ->
       match outcome with
       | Driver.Ok_ v ->
           if json then
@@ -503,26 +595,22 @@ let profile_cmd =
             Fmt.pr "result: %a@." Interp.Eval.pp_value v;
             print_string (Driver.Profile_report.to_string ~top ~src report)
           end;
-          dump_folded ();
+          dump_folded report;
           0
-      | Driver.Failed ds ->
-          Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
-          1
-    in
-    if threads > 1 then
-      Runtime.Pool.with_pool threads (fun pool -> exec (Some pool))
-    else exec None
+      | Driver.Failed ds -> fail ds
   in
   let doc =
     "Run a program under the source-attributed profiler: a hot-loop table \
      keyed by source span, with iteration counts, per-span allocation \
-     bytes and parallel-vs-sequential time."
+     bytes and parallel-vs-sequential time. With --native the same report \
+     comes from an instrumented native binary; with --diff-native the two \
+     are joined span by span."
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
-      $ robustness_term $ json $ folded $ top $ remarks_arg $ telemetry_term
-      $ src_arg)
+      $ robustness_term $ json $ folded $ top $ native $ diff_native
+      $ native_opts_term $ remarks_arg $ telemetry_term $ src_arg)
 
 (* --- explain ------------------------------------------------------------------- *)
 

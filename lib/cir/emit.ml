@@ -141,6 +141,71 @@ let rec lvalue = function
    default so emitted C is unchanged for existing consumers. *)
 let line_file : string option ref = ref None
 
+(* --- profiling instrumentation (--instrument) -------------------------- *)
+
+(* When on, provenance-carrying loops and top-level located statements are
+   wrapped in mm_prof enter/exit calls keyed by a span table generated
+   into the program, so a native run attributes wall time to the same
+   source spans the interpreter profiler reports. *)
+let instrument_mode = ref false
+
+(* Span string -> id, in first-emission order (the table index is the id). *)
+let span_ids : (string, int) Hashtbl.t = Hashtbl.create 16
+let span_order : string list ref = ref [] (* reversed *)
+
+let span_id s =
+  match Hashtbl.find_opt span_ids s with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length span_ids in
+      Hashtbl.add span_ids s id;
+      span_order := s :: !span_order;
+      id
+
+(* Spans of the instrumented frames currently open at the emission point,
+   innermost first.  Mirrors the interpreter's runtime frame stack well
+   enough to make the same skip decisions statically: a loop desugared to
+   several nested loops over one source span instruments only the
+   outermost, and a [return] knows which frames to unwind. *)
+let open_spans : string list ref = ref []
+
+let in_frame s f =
+  open_spans := s :: !open_spans;
+  Fun.protect ~finally:(fun () -> open_spans := List.tl !open_spans) f
+
+(* A sequential loop instruments unless its span is exactly the innermost
+   open frame's (tile/vector desugarings stack several loops on one span;
+   one frame per span entry is what the interpreter records, and skipping
+   the inner copies keeps the hot-path overhead down). *)
+let seq_loop_span prov =
+  if not !instrument_mode then None
+  else
+    match prov with
+    | None -> None
+    | Some sp -> (
+        let s = Support.Pos.span_to_string sp in
+        match !open_spans with
+        | top :: _ when String.equal top s -> None
+        | _ -> Some (span_id s, s))
+
+(* A parallel loop always instruments: its dispatch decision is exactly
+   what the differential profile wants to see. *)
+let par_loop_span prov =
+  if not !instrument_mode then None
+  else Option.map (fun sp ->
+      let s = Support.Pos.span_to_string sp in
+      (span_id s, s))
+    prov
+
+(* Located statements instrument only at the top level, like the
+   interpreter (statement frames nested inside loop frames would double
+   every hot span). *)
+let located_span sp =
+  if !instrument_mode && !open_spans = [] then
+    let s = Support.Pos.span_to_string sp in
+    Some (span_id s, s)
+  else None
+
 let ctype_decl t name =
   match t with
   | CMat (_, _) -> Printf.sprintf "%s *%s" (ctype_name t) name
@@ -150,6 +215,20 @@ let ctype_decl t name =
 (* Return type of the function being emitted: a returned tuple literal
    needs its struct name for a C compound literal. *)
 let cur_ret : ctype ref = ref CVoid
+
+(* A [return] inside instrumented frames jumps past their exit calls;
+   close them explicitly (innermost first, with zero counts) so the
+   runtime stack never leaks across the call. *)
+let unwind_frames buf ind =
+  List.iter
+    (fun s ->
+      let id = Hashtbl.find span_ids s in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%sif (mm_prof_live) { if (!mm_prof_skip[%d]) mm_prof_exit(%d, 0, \
+            0); else mm_prof_sentries[%d]++; }\n"
+           ind id id id))
+    !open_spans
 
 let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (ind ^ s ^ "\n")) fmt in
@@ -197,23 +276,69 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
       line "while (%s) {" (expr c);
       block buf (ind ^ "  ") b;
       line "}"
-  | For l ->
-      line "for (int %s = 0; %s < %s; %s++) {" l.index l.index
-        (expr ~prec:31 l.bound) l.index;
-      block buf (ind ^ "  ") l.body;
-      line "}"
-  | ParFor l ->
-      line "#pragma omp parallel for";
-      line "for (int %s = 0; %s < %s; %s++) {" l.index l.index
-        (expr ~prec:31 l.bound) l.index;
-      block buf (ind ^ "  ") l.body;
-      line "}"
+  | For l -> (
+      match seq_loop_span l.prov with
+      | Some (id, sp) ->
+          (* Guarded probes: once the runtime freezes span [id]'s timing
+             (mm_prof_skip flips), executions are counted inline with no
+             call and no clock — a tiny loop entered per element of an
+             enclosing loop costs a few loads.  mm_prof_live is 0 inside
+             a dispatched parallel region, where probes must not fire. *)
+          line "if (mm_prof_live && !mm_prof_skip[%d]) mm_prof_enter(%d);" id
+            id;
+          line "for (int %s = 0; %s < %s; %s++) {" l.index l.index
+            (expr ~prec:31 l.bound) l.index;
+          in_frame sp (fun () -> block buf (ind ^ "  ") l.body);
+          line "}";
+          line "if (mm_prof_live) {";
+          line "  if (!mm_prof_skip[%d]) mm_prof_exit(%d, (long long) (%s), 0);"
+            id id (expr l.bound);
+          line "  else { mm_prof_sentries[%d]++; mm_prof_siters[%d] += (long \
+                long) (%s); }"
+            id id (expr l.bound);
+          line "}"
+      | None ->
+          line "for (int %s = 0; %s < %s; %s++) {" l.index l.index
+            (expr ~prec:31 l.bound) l.index;
+          block buf (ind ^ "  ") l.body;
+          line "}")
+  | ParFor l -> (
+      match par_loop_span l.prov with
+      | Some (id, sp) ->
+          (* The worker-time probe lives inside the parallel region but
+             outside the work-shared loop, so each thread reports its own
+             busy window.  Without OpenMP the pragmas vanish and the block
+             runs once on the lone thread; mm_prof_worker is then a no-op
+             because no region was installed. *)
+          line "mm_prof_enter_par(%d);" id;
+          line "#pragma omp parallel";
+          line "{";
+          line "  long long __mm_prof_w = mm_prof_now();";
+          line "#pragma omp for";
+          line "  for (int %s = 0; %s < %s; %s++) {" l.index l.index
+            (expr ~prec:31 l.bound) l.index;
+          in_frame sp (fun () -> block buf (ind ^ "    ") l.body);
+          line "  }";
+          line "  mm_prof_worker(%d, mm_prof_now() - __mm_prof_w);" id;
+          line "}";
+          line "mm_prof_exit_par(%d, (long long) (%s));" id (expr l.bound)
+      | None ->
+          line "#pragma omp parallel for";
+          line "for (int %s = 0; %s < %s; %s++) {" l.index l.index
+            (expr ~prec:31 l.bound) l.index;
+          block buf (ind ^ "  ") l.body;
+          line "}")
   | ExprS e -> line "%s;" (expr e)
-  | Return None -> line "return;"
+  | Return None ->
+      unwind_frames buf ind;
+      line "return;"
   | Return (Some (TupleE es)) when (match !cur_ret with CTuple _ -> true | _ -> false) ->
+      unwind_frames buf ind;
       line "return (%s){ %s };" (ctype_name !cur_ret)
         (String.concat ", " (List.map (expr ~prec:0) es))
-  | Return (Some e) -> line "return %s;" (expr e)
+  | Return (Some e) ->
+      unwind_frames buf ind;
+      line "return %s;" (expr e)
   | Break -> line "break;"
   | Continue -> line "continue;"
   | RcInc e -> line "mm_rc_inc(%s);" (expr e)
@@ -231,7 +356,7 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
       line "%s = cilk_spawn %s(%s);" (lvalue lv) f
         (String.concat ", " (List.map (expr ~prec:0) args))
   | Sync -> line "cilk_sync;"
-  | Located (sp, b) ->
+  | Located (sp, b) -> (
       (* Not a C scope: print the inner statements at the current indent so
          declarations stay visible to later siblings. *)
       (match !line_file with
@@ -240,7 +365,19 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
             (Printf.sprintf "#line %d %S\n" sp.Support.Pos.left.Support.Pos.line
                file)
       | None -> ());
-      block buf ind b
+      match located_span sp with
+      | Some (id, s) ->
+          (* Same guarded fast path as For loops: statements in a
+             function called per element of a hot loop execute far too
+             often for an unconditional call per probe. *)
+          line "if (mm_prof_live && !mm_prof_skip[%d]) mm_prof_enter(%d);" id
+            id;
+          in_frame s (fun () -> block buf ind b);
+          line "if (mm_prof_live) {";
+          line "  if (!mm_prof_skip[%d]) mm_prof_exit(%d, 0, 0);" id id;
+          line "  else mm_prof_sentries[%d]++;" id;
+          line "}"
+      | None -> block buf ind b)
 
 and block buf ind stmts = List.iter (stmt buf ind) stmts
 
@@ -394,24 +531,74 @@ let harness_main (p : program) : func =
   let call =
     Call (entry.f_name, List.map (fun (t, _) -> default_arg t) entry.f_params)
   in
+  (* Instrumented harness: start the profiler before the entry call, stop
+     the clock the moment it returns (result printing is not program
+     time), and dump the sidecar once the result protocol is complete.
+     The dump lands in the working directory — the data dir Native.Exec
+     runs the binary in — under the fixed sidecar name it reads back. *)
+  let prof_init =
+    if !instrument_mode then
+      [
+        ExprS
+          (Call ("mm_prof_init", [ Var "MM_PROF_NSPANS"; Var "mm_prof_spans" ]));
+      ]
+    else []
+  and prof_stop =
+    if !instrument_mode then [ ExprS (Call ("mm_prof_stop", [])) ] else []
+  and prof_dump =
+    if !instrument_mode then
+      [ ExprS (Call ("mm_prof_dump", [ Str "mm_profile.json" ])) ]
+    else []
+  in
   let body =
-    (match entry.f_ret with
-    | CVoid -> [ ExprS call; ExprS (Call ("mm_result_void", [])) ]
-    | t -> Decl (t, "__mm_r", Some call) :: result_stmts t (Var "__mm_r"))
-    @ [ ExprS (Call ("mm_result_live", [])); Return (Some (Int 0)) ]
+    prof_init
+    @ (match entry.f_ret with
+      | CVoid ->
+          (ExprS call :: prof_stop) @ [ ExprS (Call ("mm_result_void", [])) ]
+      | t ->
+          (Decl (t, "__mm_r", Some call) :: prof_stop)
+          @ result_stmts t (Var "__mm_r"))
+    @ [ ExprS (Call ("mm_result_live", [])) ]
+    @ prof_dump
+    @ [ Return (Some (Int 0)) ]
   in
   { f_name = "main"; f_params = []; f_ret = CInt; f_body = body }
 
-(** [program ?line_directives_file ?exec_harness p] — the full translation
-    unit.  With [exec_harness] the entry function is renamed away from
-    [main] if necessary and a generated [int main] calls it, prints its
-    result (plus the live-allocation count) through the result protocol,
-    and returns 0 — making the output a complete, runnable program. *)
-let program ?line_directives_file ?(exec_harness = false) (p : program) :
-    string =
+(* The generated span table: ids index mm_prof_spans, whose entries are
+   the interpreter profiler's span strings, so the two profiles join
+   row-for-row on the rendered span.  Non-static: external linkage keeps
+   -Wunused quiet for programs whose harness is compiled separately. *)
+let span_table () =
+  let names = List.rev !span_order in
+  String.concat "\n"
+    ([
+       Printf.sprintf "#define MM_PROF_NSPANS %d" (List.length names);
+       "const char *const mm_prof_spans[] = {";
+     ]
+    @ (match names with
+      | [] -> [ "  0" ]
+      | _ -> List.map (fun s -> "  " ^ c_string_lit s ^ ",") names)
+    @ [ "};"; ""; "" ])
+
+(** [program ?line_directives_file ?instrument ?exec_harness p] — the full
+    translation unit.  With [exec_harness] the entry function is renamed
+    away from [main] if necessary and a generated [int main] calls it,
+    prints its result (plus the live-allocation count) through the result
+    protocol, and returns 0 — making the output a complete, runnable
+    program.  With [instrument] provenance-carrying loops and statements
+    are wrapped in mm_prof enter/exit calls over a generated span table,
+    and the harness initialises, stops, and dumps the profiler. *)
+let program ?line_directives_file ?(instrument = false)
+    ?(exec_harness = false) (p : program) : string =
   line_file := line_directives_file;
+  instrument_mode := instrument;
+  Hashtbl.reset span_ids;
+  span_order := [];
+  open_spans := [];
   Fun.protect
-    ~finally:(fun () -> line_file := None)
+    ~finally:(fun () ->
+      line_file := None;
+      instrument_mode := false)
     (fun () ->
       let p = if exec_harness then rename_entry p else p in
       let p =
@@ -422,10 +609,15 @@ let program ?line_directives_file ?(exec_harness = false) (p : program) :
         | [] -> ""
         | lines -> String.concat "\n" lines ^ "\n\n"
       in
+      (* The function bodies must be rendered first: emitting them is what
+         populates the span table the header sections then print. *)
+      let funcs_text = String.concat "\n" (List.map func p.funcs) in
       preamble
+      ^ (if instrument then "#include \"mm_prof.h\"\n\n" else "")
       ^ section (List.map tuple_typedef (tuple_types p))
       ^ section (prototypes p)
-      ^ String.concat "\n" (List.map func p.funcs))
+      ^ (if instrument then span_table () else "")
+      ^ funcs_text)
 
 (** Emission of a single statement list (golden tests on loop shapes). *)
 let stmts (ss : stmt list) : string =

@@ -272,8 +272,8 @@ let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false) ?warn
     plain parallel C out.  [line_file] turns on [#line] directives naming
     that file, so C-level debuggers and profilers point back at the
     original source. *)
-let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?exec_harness
-    (c : composed) (src : string) : string outcome =
+let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?instrument
+    ?exec_harness (c : composed) (src : string) : string outcome =
   match frontend c src with
   | Failed d -> Failed d
   | Ok_ ast -> (
@@ -282,7 +282,7 @@ let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?exec_harness
       | Ok_ prog ->
           Ok_
             (Tel.with_span ~phase:"emit" "driver.emit" (fun () ->
-                 Cir.Emit.program ?line_directives_file:line_file
+                 Cir.Emit.program ?line_directives_file:line_file ?instrument
                    ?exec_harness prog)))
 
 (* --- runtime failure -> structured diagnostic --------------------------------- *)
@@ -378,10 +378,11 @@ let native_failure_diag (e : Native.Exec.error) =
     The returned outcome's [value] matches what {!run} would have
     produced, bit-for-bit. *)
 let exec ?fuse ?copy_elim ?auto_par ?warn ?dir ?cc ?(cflags = []) ?keep_c
-    ?(cache = true) ?cache_dir ?(threads = 1) (c : composed) (src : string) :
-    Native.Exec.outcome outcome =
+    ?line_file ?instrument ?(cache = true) ?cache_dir ?(threads = 1)
+    (c : composed) (src : string) : Native.Exec.outcome outcome =
   match
-    compile_to_c ?fuse ?copy_elim ?auto_par ?warn ~exec_harness:true c src
+    compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?instrument
+      ~exec_harness:true c src
   with
   | Failed d -> Failed d
   | Ok_ c_text -> (
@@ -396,8 +397,8 @@ let exec ?fuse ?copy_elim ?auto_par ?warn ?dir ?cc ?(cflags = []) ?keep_c
       in
       match
         Tel.with_span ~phase:"run" "driver.exec" (fun () ->
-            Native.Exec.run ?cc ~cflags ~cache ?cache_dir ?keep_c ~threads
-              ~dir c_text)
+            Native.Exec.run ?cc ~cflags ~cache ?cache_dir ?keep_c ?instrument
+              ~threads ~dir c_text)
       with
       | Ok outcome -> Ok_ outcome
       | Error e -> Failed [ native_failure_diag e ])
@@ -417,6 +418,7 @@ module Profile_report = struct
   type t = {
     wall_ns : int;
     rows : P.row list;
+    folded : (string * int) list;  (** "outer;inner" stack -> self ns *)
     attributed_ns : int;
     unattributed_alloc : int;
     live_bytes : int;
@@ -430,11 +432,35 @@ module Profile_report = struct
     {
       wall_ns;
       rows = P.results ();
+      folded = P.folded ();
       attributed_ns = P.attributed_ns ();
       unattributed_alloc = P.unattributed_alloc_bytes ();
       live_bytes = Runtime.Rc.live_bytes ();
       peak_bytes = Runtime.Rc.peak_bytes ();
       allocated_bytes = Runtime.Rc.allocated_bytes ();
+    }
+
+  (** A native profile (the mm_profile.json sidecar an instrumented
+      binary dumped, parsed by {!Native.Prof}) in the same report shape,
+      so every renderer below works on both.  Rows sort by self time like
+      [P.results ()]. *)
+  let of_native (n : Native.Prof.t) =
+    {
+      wall_ns = n.Native.Prof.wall_ns;
+      rows =
+        List.sort
+          (fun (a : P.row) (b : P.row) ->
+            compare b.P.r_self_ns a.P.r_self_ns)
+          n.Native.Prof.rows;
+      folded =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          n.Native.Prof.folded;
+      attributed_ns = n.Native.Prof.attributed_ns;
+      unattributed_alloc = n.Native.Prof.unattributed_alloc;
+      live_bytes = n.Native.Prof.live_bytes;
+      peak_bytes = n.Native.Prof.peak_bytes;
+      allocated_bytes = n.Native.Prof.allocated_bytes;
     }
 
   let coverage t =
@@ -533,8 +559,198 @@ module Profile_report = struct
       ]
 
   (** Folded-stack lines ("outer;inner self_ns") for flamegraph tools. *)
-  let folded_lines () =
-    List.map (fun (path, ns) -> Printf.sprintf "%s %d" path ns) (P.folded ())
+  let folded_lines t =
+    List.map (fun (path, ns) -> Printf.sprintf "%s %d" path ns) t.folded
+
+  (** Schema check for {!to_json} output (shared by [bench
+      --check-profile-json] and the native-profile tests: interp and
+      native reports must satisfy the same contract).  Returns the list
+      of problems, empty when the document conforms. *)
+  let validate_json (j : Support.Json.t) : string list =
+    let module J = Support.Json in
+    let problems = ref [] in
+    let bad fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
+    let need_num obj ctx name =
+      if J.num_field obj name = None then bad "%s: missing number %S" ctx name
+    in
+    List.iter (need_num j "top-level") [ "wall_ns"; "attributed_ns"; "coverage" ];
+    (match J.num_field j "coverage" with
+    | Some c when c < 0.0 || c > 1.5 -> bad "coverage %.3f out of range" c
+    | _ -> ());
+    (match Option.bind (J.field "rows" j) J.arr with
+    | None -> bad "top-level: missing array \"rows\""
+    | Some rows ->
+        List.iteri
+          (fun i row ->
+            let ctx = Printf.sprintf "rows[%d]" i in
+            if Option.bind (J.field "span" row) J.str = None then
+              bad "%s: missing string \"span\"" ctx;
+            if Option.bind (J.field "source" row) J.str = None then
+              bad "%s: missing string \"source\"" ctx;
+            List.iter (need_num row ctx)
+              [
+                "line"; "total_ns"; "self_ns"; "pct"; "iters"; "dispatches";
+                "par_ns"; "seq_ns"; "alloc_bytes";
+              ];
+            match J.field "workers" row with
+            | Some (J.Obj _) -> ()
+            | _ -> bad "%s: missing object \"workers\"" ctx)
+          rows);
+    (match J.field "memory" j with
+    | Some mem ->
+        List.iter (need_num mem "memory")
+          [
+            "allocated_bytes"; "peak_bytes"; "live_bytes";
+            "unattributed_alloc_bytes";
+          ]
+    | None -> bad "top-level: missing object \"memory\"");
+    List.rev !problems
+
+  (* --- interp-vs-native differential ----------------------------------- *)
+
+  type diff_row = {
+    d_span : string;
+    d_line : int;
+    d_source : string;
+    d_interp_self_ns : int option;  (** [None]: span absent on that side *)
+    d_native_self_ns : int option;
+    d_speedup : float option;  (** interp self / native self, both present *)
+    d_lagging : bool;
+        (** a significant span whose native speedup trails the
+            program-level interp/native ratio by more than half *)
+  }
+
+  type diff = {
+    interp_wall_ns : int;
+    native_wall_ns : int;
+    program_ratio : float;  (** interp wall / native wall *)
+    diff_rows : diff_row list;
+  }
+
+  (** Join an interpreted and a native report span-by-span (on the
+      rendered span string — both sides derive it from the same
+      provenance).  A span is flagged lagging when it holds at least 1%
+      of interp wall time yet its native speedup is under half the
+      program-level ratio: the loops where native code gains least. *)
+  let diff_reports ~src ~(interp : t) ~(native : t) : diff =
+    let program_ratio =
+      if native.wall_ns <= 0 then 0.
+      else float_of_int interp.wall_ns /. float_of_int native.wall_ns
+    in
+    let key (r : P.row) = Support.Pos.span_to_string r.P.r_span in
+    let native_tbl = Hashtbl.create 16 in
+    List.iter (fun r -> Hashtbl.replace native_tbl (key r) r) native.rows;
+    let seen = Hashtbl.create 16 in
+    let row_of (r : P.row) =
+      let k = key r in
+      Hashtbl.replace seen k ();
+      let n = Hashtbl.find_opt native_tbl k in
+      let interp_self = r.P.r_self_ns in
+      let native_self = Option.map (fun (n : P.row) -> n.P.r_self_ns) n in
+      let speedup =
+        match native_self with
+        | Some ns when ns > 0 -> Some (float_of_int interp_self /. float_of_int ns)
+        | _ -> None
+      in
+      let significant =
+        interp.wall_ns > 0
+        && float_of_int interp_self >= 0.01 *. float_of_int interp.wall_ns
+      in
+      {
+        d_span = k;
+        d_line = r.P.r_span.Support.Pos.left.Support.Pos.line;
+        d_source = excerpt ~src r.P.r_span;
+        d_interp_self_ns = Some interp_self;
+        d_native_self_ns = native_self;
+        d_speedup = speedup;
+        d_lagging =
+          (significant
+          &&
+          match speedup with
+          | Some s -> s < 0.5 *. program_ratio
+          | None -> false);
+      }
+    in
+    let joined = List.map row_of interp.rows in
+    (* Native-only spans (e.g. loops the interpreter ran inside a pool
+       region) still show, so nothing silently disappears. *)
+    let native_only =
+      List.filter_map
+        (fun (r : P.row) ->
+          let k = key r in
+          if Hashtbl.mem seen k then None
+          else
+            Some
+              {
+                d_span = k;
+                d_line = r.P.r_span.Support.Pos.left.Support.Pos.line;
+                d_source = excerpt ~src r.P.r_span;
+                d_interp_self_ns = None;
+                d_native_self_ns = Some r.P.r_self_ns;
+                d_speedup = None;
+                d_lagging = false;
+              })
+        native.rows
+    in
+    {
+      interp_wall_ns = interp.wall_ns;
+      native_wall_ns = native.wall_ns;
+      program_ratio;
+      diff_rows = joined @ native_only;
+    }
+
+  let pp_diff ppf (d : diff) =
+    Fmt.pf ppf
+      "--- interp vs native: %.3f ms -> %.3f ms (%.1fx program speedup) ---@."
+      (ms d.interp_wall_ns) (ms d.native_wall_ns) d.program_ratio;
+    Fmt.pf ppf "  %-12s %12s %12s %9s  %s@." "span" "interp ms" "native ms"
+      "speedup" "source";
+    List.iter
+      (fun r ->
+        let side = function
+          | Some ns -> Printf.sprintf "%12.3f" (ms ns)
+          | None -> Printf.sprintf "%12s" "-"
+        in
+        Fmt.pf ppf "  %-12s %s %s %9s  %s%s@." r.d_span
+          (side r.d_interp_self_ns) (side r.d_native_self_ns)
+          (match r.d_speedup with
+          | Some s -> Printf.sprintf "%.1fx" s
+          | None -> "-")
+          r.d_source
+          (if r.d_lagging then "  << lagging" else ""))
+      d.diff_rows;
+    if List.exists (fun r -> r.d_lagging) d.diff_rows then
+      Fmt.pf ppf
+        "  << lagging: native speedup under half the program ratio for a \
+         span holding >= 1%% of interp time@."
+
+  let diff_to_string d = Fmt.str "%a" pp_diff d
+
+  let diff_to_json (d : diff) =
+    let j = Tel.json_string in
+    let opt_ns = function Some ns -> string_of_int ns | None -> "null" in
+    let row r =
+      Tel.json_obj
+        [
+          ("span", j r.d_span);
+          ("line", string_of_int r.d_line);
+          ("source", j r.d_source);
+          ("interp_self_ns", opt_ns r.d_interp_self_ns);
+          ("native_self_ns", opt_ns r.d_native_self_ns);
+          ( "speedup",
+            match r.d_speedup with
+            | Some s -> Printf.sprintf "%.3f" s
+            | None -> "null" );
+          ("lagging", if r.d_lagging then "true" else "false");
+        ]
+    in
+    Tel.json_obj
+      [
+        ("interp_wall_ns", string_of_int d.interp_wall_ns);
+        ("native_wall_ns", string_of_int d.native_wall_ns);
+        ("program_ratio", Printf.sprintf "%.3f" d.program_ratio);
+        ("rows", "[" ^ String.concat "," (List.map row d.diff_rows) ^ "]");
+      ]
 end
 
 (* --- compiler decision tracing (mmc explain) --------------------------- *)
@@ -663,3 +879,38 @@ let profile ?fuse ?copy_elim ?(auto_par = true) ?warn ?pool ?dir
           match runtime_failure_diag e with
           | Some diag -> (Failed [ diag ], report)
           | None -> Printexc.raise_with_backtrace e bt))
+
+(** [profile_native ?… c src] — the native twin of {!profile}: emit
+    instrumented C (exec harness plus mm_prof enter/exit calls over the
+    generated span table), compile and run it through the binary cache
+    (instrumented binaries key separately), and parse the binary's
+    mm_profile.json sidecar back into the same report shape [mmc
+    profile] renders for interpreted runs. *)
+let profile_native ?fuse ?copy_elim ?(auto_par = true) ?warn ?dir ?cc ?cflags
+    ?keep_c ?cache ?cache_dir ?(threads = 1) ?line_file (c : composed)
+    (src : string) : (Native.Exec.outcome * Profile_report.t) outcome =
+  match
+    exec ?fuse ?copy_elim ~auto_par ?warn ?dir ?cc ?cflags ?keep_c ?line_file
+      ~instrument:true ?cache ?cache_dir ~threads c src
+  with
+  | Failed d -> Failed d
+  | Ok_ outcome -> (
+      match outcome.Native.Exec.profile_json with
+      | None ->
+          Failed
+            [
+              Support.Diag.error ~phase:"native-run"
+                ~span:Support.Pos.dummy_span
+                "native profile sidecar missing (instrumented binary wrote \
+                 no mm_profile.json)";
+            ]
+      | Some text -> (
+          match Native.Prof.parse text with
+          | Error m ->
+              Failed
+                [
+                  Support.Diag.error ~phase:"native-run"
+                    ~span:Support.Pos.dummy_span
+                    "cannot parse native profile: %s" m;
+                ]
+          | Ok prof -> Ok_ (outcome, Profile_report.of_native prof)))

@@ -22,13 +22,22 @@ let export_gauges () =
   Support.Telemetry.set_gauge "cache.hit" (float_of_int !hits);
   Support.Telemetry.set_gauge "cache.miss" (float_of_int !misses)
 
-(** [key ~toolchain c_text] — hex digest naming the binary this exact
-    (program, runtime, compiler configuration) triple compiles to. *)
-let key ~(toolchain : Toolchain.t) (c_text : string) =
+(** [key ~toolchain ?instrument c_text] — hex digest naming the binary
+    this exact (program, runtime, compiler configuration) triple compiles
+    to.  Instrumented builds link the profiling runtime too, so the flag
+    and the mm_prof sources join the digest: a profiled and an unprofiled
+    run of the same program occupy distinct cache slots. *)
+let key ~(toolchain : Toolchain.t) ?(instrument = false) (c_text : string) =
+  let prof_part =
+    if instrument then
+      [ "instrument"; Runtime_c.prof_header; Runtime_c.prof_impl ]
+    else []
+  in
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
           ([ c_text; Runtime_c.header; Runtime_c.impl; toolchain.Toolchain.cc ]
+          @ prof_part
           @ Toolchain.flags toolchain)))
 
 let ensure_dir dir =
@@ -54,8 +63,9 @@ let lookup ~dir k =
 
 (** Materialise the program and runtime sources for a compile (the cache
     directory is also the build directory, so a failed compile leaves the
-    offending .c behind for inspection). *)
-let write_sources ~dir ~k c_text =
+    offending .c behind for inspection).  Returns the .c files to hand to
+    the compiler; instrumented builds add the profiling runtime. *)
+let write_sources ~dir ~k ?(instrument = false) c_text =
   ensure_dir dir;
   let c_file = Filename.concat dir ("mm_" ^ k ^ ".c") in
   let write path text =
@@ -65,4 +75,9 @@ let write_sources ~dir ~k c_text =
   write c_file c_text;
   write (Filename.concat dir "mm_runtime.h") Runtime_c.header;
   write (Filename.concat dir "mm_runtime.c") Runtime_c.impl;
-  (c_file, Filename.concat dir "mm_runtime.c")
+  if instrument then begin
+    write (Filename.concat dir "mm_prof.h") Runtime_c.prof_header;
+    write (Filename.concat dir "mm_prof.c") Runtime_c.prof_impl
+  end;
+  c_file :: Filename.concat dir "mm_runtime.c"
+  :: (if instrument then [ Filename.concat dir "mm_prof.c" ] else [])

@@ -47,6 +47,9 @@ type outcome = {
   live : int;  (** allocations still live at exit (leak parity check) *)
   exe : string;  (** the cached binary that ran *)
   from_cache : bool;  (** true iff compilation was skipped *)
+  profile_json : string option;
+      (** raw text of the mm_profile.json sidecar an instrumented binary
+          dumped into the data directory; [None] for plain runs *)
 }
 
 (* --- result-protocol parsing ------------------------------------------- *)
@@ -169,7 +172,7 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
-let keep_c_sources ~keep_c c_text =
+let keep_c_sources ~keep_c ~instrument c_text =
   Option.iter
     (fun path ->
       let dir = Filename.dirname path in
@@ -180,35 +183,56 @@ let keep_c_sources ~keep_c c_text =
       in
       write path c_text;
       write (Filename.concat dir "mm_runtime.h") Runtime_c.header;
-      write (Filename.concat dir "mm_runtime.c") Runtime_c.impl)
+      write (Filename.concat dir "mm_runtime.c") Runtime_c.impl;
+      if instrument then begin
+        write (Filename.concat dir "mm_prof.h") Runtime_c.prof_header;
+        write (Filename.concat dir "mm_prof.c") Runtime_c.prof_impl
+      end)
     keep_c
 
-(** [run ?cc ?cflags ?cache ?cache_dir ?keep_c ?threads ~dir c_text] —
-    the whole native path: probe the toolchain, hit or fill the binary
-    cache, execute in [dir] (where readMatrix/writeMatrix files live)
-    with [OMP_NUM_THREADS=threads], and parse the result protocol. *)
+(* The instrumented binary dumps its profile as a file (not stdout: the
+   result-protocol parser owns stdout) in its working directory, which
+   [run] sets to the data dir. *)
+let sidecar_name = "mm_profile.json"
+
+(** [run ?cc ?cflags ?cache ?cache_dir ?keep_c ?instrument ?threads ~dir
+    c_text] — the whole native path: probe the toolchain, hit or fill
+    the binary cache, execute in [dir] (where readMatrix/writeMatrix
+    files live) with [OMP_NUM_THREADS=threads], and parse the result
+    protocol.  With [instrument] the profiling runtime is compiled in
+    (under its own cache key) and the binary's mm_profile.json sidecar
+    comes back in [outcome.profile_json].  Compile and run legs are
+    wrapped in telemetry spans and exported both as ns and ms gauges. *)
 let run ?cc ?(cflags = []) ?(cache = true) ?(cache_dir = Cache.default_dir)
-    ?keep_c ?(threads = 1) ~dir (c_text : string) : (outcome, error) result =
+    ?keep_c ?(instrument = false) ?(threads = 1) ~dir (c_text : string) :
+    (outcome, error) result =
   match Toolchain.probe ?cc ~cflags () with
   | Error e -> Error (Toolchain_error e)
   | Ok tc -> (
       Support.Telemetry.set_gauge "native.openmp" (if tc.openmp then 1. else 0.);
-      keep_c_sources ~keep_c c_text;
-      let k = Cache.key ~toolchain:tc c_text in
+      keep_c_sources ~keep_c ~instrument c_text;
+      let k = Cache.key ~toolchain:tc ~instrument c_text in
       let cached = if cache then Cache.lookup ~dir:cache_dir k else None in
       let compiled =
         match cached with
         | Some exe -> Ok (exe, true)
-        | None -> (
-            let c_file, runtime_c = Cache.write_sources ~dir:cache_dir ~k c_text in
-            let exe = Cache.exe_path ~dir:cache_dir k in
-            let t0 = Support.Telemetry.now_ns () in
-            match Toolchain.compile tc ~c_files:[ c_file; runtime_c ] ~out:exe with
-            | Ok () ->
-                Support.Telemetry.set_gauge "native.compile_ns"
-                  (float_of_int (Support.Telemetry.now_ns () - t0));
-                Ok (exe, false)
-            | Error e -> Error (Toolchain_error e))
+        | None ->
+            Support.Telemetry.with_span ~phase:"native" "native.compile"
+              (fun () ->
+                let c_files =
+                  Cache.write_sources ~dir:cache_dir ~k ~instrument c_text
+                in
+                let exe = Cache.exe_path ~dir:cache_dir k in
+                let t0 = Support.Telemetry.now_ns () in
+                match Toolchain.compile tc ~c_files ~out:exe with
+                | Ok () ->
+                    let ns = Support.Telemetry.now_ns () - t0 in
+                    Support.Telemetry.set_gauge "native.compile_ns"
+                      (float_of_int ns);
+                    Support.Telemetry.set_gauge "native.compile_ms"
+                      (float_of_int ns /. 1e6);
+                    Ok (exe, false)
+                | Error e -> Error (Toolchain_error e))
       in
       match compiled with
       | Error e -> Error e
@@ -222,15 +246,26 @@ let run ?cc ?(cflags = []) ?(cache = true) ?(cache_dir = Cache.default_dir)
               Filename.concat (Sys.getcwd ()) exe
             else exe
           in
+          let sidecar = Filename.concat dir sidecar_name in
+          if instrument && Sys.file_exists sidecar then (
+            (* a stale sidecar from an earlier run must not be read back *)
+            try Sys.remove sidecar with Sys_error _ -> ());
           let cmd =
             Printf.sprintf "cd %s && OMP_NUM_THREADS=%d %s > %s 2> %s"
               (Filename.quote dir) (max 1 threads) (Filename.quote abs_exe)
               (Filename.quote out) (Filename.quote err)
           in
-          let t0 = Support.Telemetry.now_ns () in
-          let code = Sys.command cmd in
-          Support.Telemetry.set_gauge "native.run_ns"
-            (float_of_int (Support.Telemetry.now_ns () - t0));
+          let code =
+            Support.Telemetry.with_span ~phase:"native" "native.run"
+              (fun () ->
+                let t0 = Support.Telemetry.now_ns () in
+                let code = Sys.command cmd in
+                let ns = Support.Telemetry.now_ns () - t0 in
+                Support.Telemetry.set_gauge "native.run_ns" (float_of_int ns);
+                Support.Telemetry.set_gauge "native.run_ms"
+                  (float_of_int ns /. 1e6);
+                code)
+          in
           let stdout_text = In_channel.with_open_bin out In_channel.input_all in
           let stderr_text = In_channel.with_open_bin err In_channel.input_all in
           List.iter
@@ -241,4 +276,11 @@ let run ?cc ?(cflags = []) ?(cache = true) ?(cache_dir = Cache.default_dir)
           else
             match parse_output stdout_text with
             | Error e -> Error e
-            | Ok (value, live) -> Ok { value; live; exe; from_cache }))
+            | Ok (value, live) ->
+                let profile_json =
+                  if instrument && Sys.file_exists sidecar then
+                    Some
+                      (In_channel.with_open_bin sidecar In_channel.input_all)
+                  else None
+                in
+                Ok { value; live; exe; from_cache; profile_json }))

@@ -25,6 +25,39 @@ static int mm_live = 0;
 
 int mm_live_count(void) { return mm_live; }
 
+/* Payload-byte gauges (live / peak / cumulative) and the allocation
+ * hook.  Updates go through one named critical section because the
+ * peak needs a read-modify-write and allocations can happen inside
+ * OpenMP regions; allocation is rare next to loop iterations, so the
+ * serialisation is invisible. */
+static long long mm_live_b = 0;
+static long long mm_peak_b = 0;
+static long long mm_alloc_b = 0;
+void (*mm_alloc_hook)(long long bytes) = 0;
+
+long long mm_live_bytes(void) { return mm_live_b; }
+long long mm_peak_bytes(void) { return mm_peak_b; }
+long long mm_allocated_bytes(void) { return mm_alloc_b; }
+
+static void mm_account_alloc(long long bytes) {
+#ifdef _OPENMP
+#pragma omp critical(mm_byte_account)
+#endif
+  {
+    mm_alloc_b += bytes;
+    mm_live_b += bytes;
+    if (mm_live_b > mm_peak_b) mm_peak_b = mm_live_b;
+  }
+  if (mm_alloc_hook) mm_alloc_hook(bytes);
+}
+
+static void mm_account_free(long long bytes) {
+#ifdef _OPENMP
+#pragma omp critical(mm_byte_account)
+#endif
+  mm_live_b -= bytes;
+}
+
 static size_t mm_elem_size(int kind) {
   switch (kind) {
   case MM_KIND_FLOAT:
@@ -59,6 +92,7 @@ static void *mm_alloc(int kind, int rank, va_list ap) {
   m->data = calloc(n > 0 ? (size_t)n : 1, mm_elem_size(kind));
   if (!m->data) mm_fatal("alloc: out of memory for %lld elements", n);
   mm_live++;
+  mm_account_alloc(n * (long long)mm_elem_size(kind));
   return m;
 }
 
@@ -94,6 +128,7 @@ void mm_rc_dec(void *p) {
   if (!p) return;
   mm_mat_float *m = p;
   if (--m->rc <= 0) {
+    mm_account_free((long long)m->elems * (long long)mm_elem_size(m->kind));
     free(m->data);
     free(m);
     mm_live--;
@@ -215,6 +250,7 @@ void *mm_read_matrix(const char *path) {
   m->elems = (int)n;
   m->data = calloc(n > 0 ? (size_t)n : 1, mm_elem_size(kind));
   if (!m->data) mm_fatal("out of memory for %lld elements", n);
+  mm_account_alloc(n * (long long)mm_elem_size(kind));
   for (int i = 0; i < m->elems; i++) {
     switch (kind) {
     case MM_KIND_FLOAT:

@@ -73,6 +73,16 @@ void mm_rc_dec(void *m);
 int mm_size(const void *m);
 int mm_live_count(void);
 
+/* Payload-byte accounting, mirroring the interpreter's RC registry
+ * gauges: bytes currently live, the high-water mark, and the cumulative
+ * total ever allocated.  mm_alloc_hook, when non-NULL, observes every
+ * payload allocation (the native profiler points it at its per-span
+ * attribution); it may be called from inside OpenMP regions. */
+long long mm_live_bytes(void);
+long long mm_peak_bytes(void);
+long long mm_allocated_bytes(void);
+extern void (*mm_alloc_hook)(long long bytes);
+
 /* MMAT1 container I/O (readMatrix/writeMatrix builtins).  Paths resolve
  * like the interpreter's virtual filesystem: '/' and '\' map to '_',
  * relative to the current working directory. */

@@ -16,4 +16,5 @@ let () =
       ("explain", Test_explain.suite);
       ("faults", Test_faults.suite);
       ("native", Test_native.suite);
+      ("native_profile", Test_native_profile.suite);
     ]

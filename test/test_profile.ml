@@ -219,7 +219,7 @@ let test_profile_coverage () =
   Alcotest.(check bool) "allocated_bytes gauge positive" true
     (report.Driver.Profile_report.allocated_bytes > 0);
   Alcotest.(check bool) "folded stacks non-empty" true
-    (Driver.Profile_report.folded_lines () <> []);
+    (Driver.Profile_report.folded_lines report <> []);
   (* profiler must be off again after the run *)
   Alcotest.(check bool) "profiler disabled after profile" false
     (P.is_enabled ())
