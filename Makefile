@@ -6,7 +6,7 @@
 # neither the perf plumbing of bench/ nor the `mmc profile --json` /
 # `mmc explain --json` schemas can bit-rot silently.
 
-.PHONY: all test bench bench-smoke bench-compare stress native-check profile-check profile-native-check explain-check check clean
+.PHONY: all test bench bench-smoke bench-compare stress native-check native-faults-check profile-check profile-native-check explain-check check clean
 
 all:
 	dune build
@@ -43,6 +43,14 @@ stress:
 native-check:
 	dune build @native-check
 
+# Supervised-execution pass: runtime guard faults (--guards), crash
+# triage to source spans, MM_FAILPOINTS parity, supervisor
+# timeout/rlimit kills, sanitizer builds and the 16-cell native fault
+# matrix — all against real compiled binaries.  Each case skips with a
+# visible notice when no C compiler is installed.
+native-faults-check:
+	dune build @native-faults-check
+
 # Run the source-attributed profiler on an example and validate the
 # machine-readable output against the schema checker in the bench binary.
 profile-check: all
@@ -71,7 +79,7 @@ explain-check: all
 	  > _build/explain_check.json
 	dune exec bench/main.exe -- --check-explain-json _build/explain_check.json
 
-check: all test bench-smoke stress native-check profile-check profile-native-check explain-check
+check: all test bench-smoke stress native-check native-faults-check profile-check profile-native-check explain-check
 
 clean:
 	dune clean

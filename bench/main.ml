@@ -421,6 +421,10 @@ let native_rows : (string * float * float * float) list ref = ref []
    [bench_native_profile] before the C8 group writes BENCH_kernels.json. *)
 let native_profile_rows : (string * float * float * float) list ref = ref []
 
+(* C14 rows (prog, plain_ms, guards_ms, overhead_pct); filled by
+   [bench_native_guards] before the C8 group writes BENCH_kernels.json. *)
+let native_guards_rows : (string * float * float * float) list ref = ref []
+
 (* Seq naive vs seq blocked vs blocked-on-a-4-worker-pool, the speedup
    table behind the ISSUE 2 acceptance bar (>= 2x at 512x512 with 4
    workers vs the sequential baseline).  On a machine with fewer than 4
@@ -515,6 +519,18 @@ let bench_blocked_kernels ~smoke () =
             Printf.fprintf oc
               "{\"prog\":%S,\"plain_ms\":%.3f,\"instrumented_ms\":%.3f,\"overhead_pct\":%.2f}"
               prog plain_ms instr_ms overhead_pct)
+          rows;
+        output_string oc "]");
+    (match List.rev !native_guards_rows with
+    | [] -> ()
+    | rows ->
+        output_string oc ",\n \"native_guards\":[";
+        List.iteri
+          (fun i (prog, plain_ms, guards_ms, overhead_pct) ->
+            if i > 0 then output_string oc ",\n  ";
+            Printf.fprintf oc
+              "{\"prog\":%S,\"plain_ms\":%.3f,\"guards_ms\":%.3f,\"overhead_pct\":%.2f}"
+              prog plain_ms guards_ms overhead_pct)
           rows;
         output_string oc "]");
     output_string oc "}\n";
@@ -702,6 +718,62 @@ let bench_native_profile () =
                        ("profile.span_ratio." ^ r.Driver.Profile_report.d_span))
                     r.Driver.Profile_report.d_speedup)
                 d.Driver.Profile_report.diff_rows))
+
+(* --- C14: emitted-C runtime guard overhead (§II) ---------------------------------------------- *)
+
+(* `mmc exec --guards` routes every emitted subscript through the
+   MM_GUARD_IDX bounds/NULL check and pushes crash breadcrumbs around
+   provenance sites; the acceptance bar is <=15% end-to-end overhead on
+   the paper corpus.  Warm-cache min-of-7 wall times of plain vs guarded
+   `mmc exec` land in BENCH_kernels.json as {prog, plain_ms, guards_ms,
+   overhead_pct} and are regression-gated by `bench --compare`. *)
+
+let exec_native_guards ~cache_dir ~dir src =
+  match Driver.exec ~guards:true ~dir ~cache_dir c_full src with
+  | Driver.Ok_ o -> o
+  | Driver.Failed ds ->
+      Fmt.epr "guarded bench program failed: %s@." (Driver.diags_to_string ds);
+      exit 1
+
+let bench_native_guards () =
+  Fmt.pr "@.=== C14: runtime guard overhead (§II) ===@.";
+  match Native.Toolchain.probe () with
+  | Error e -> Fmt.pr "  skipped: %s@." (Native.Toolchain.describe_error e)
+  | Ok _ ->
+      let data = native_cube () in
+      let cache_dir = fresh_cache_dir () in
+      Fmt.pr "  %-12s %10s %12s %9s@." "prog" "plain(ms)" "guards(ms)"
+        "overhead";
+      List.iter
+        (fun (name, src) ->
+          match src with
+          | None -> Fmt.pr "  %-12s source not found — skipped@." name
+          | Some src ->
+              with_input data (fun dir ->
+                  (* cold runs fill both cache slots, so the timed reps
+                     measure the run, not the C compiler *)
+                  ignore (exec_native ~cache_dir ~dir src);
+                  ignore (exec_native_guards ~cache_dir ~dir src);
+                  let plain =
+                    wall_min ~reps:7 (fun () ->
+                        ignore (exec_native ~cache_dir ~dir src))
+                  in
+                  let guarded =
+                    wall_min ~reps:7 (fun () ->
+                        ignore (exec_native_guards ~cache_dir ~dir src))
+                  in
+                  let overhead = (guarded -. plain) /. plain *. 100. in
+                  native_guards_rows :=
+                    (name, plain *. 1000., guarded *. 1000., overhead)
+                    :: !native_guards_rows;
+                  Fmt.pr "  %-12s %10.2f %12.2f %8.1f%%@." name
+                    (plain *. 1000.) (guarded *. 1000.) overhead))
+        (native_profile_progs ());
+      instrumented "C14" (fun () ->
+          with_input data (fun dir ->
+              ignore
+                (exec_native_guards ~cache_dir ~dir
+                   Eddy.Programs.fig1_temporal_mean)))
 
 (* --- C11: optimization-remark counts over the paper corpus ------------------------------------ *)
 
@@ -978,6 +1050,49 @@ let bench_compare baseline_path =
                         prog)
               | _ -> ())
             rows));
+  (* C14 rows: re-run each baselined program with runtime guards on the
+     warm guarded cache slot and gate its wall time; skipped without a C
+     compiler. *)
+  (match Option.bind (J.field "native_guards" baseline) J.arr with
+  | None -> ()
+  | Some rows -> (
+      match Native.Toolchain.probe () with
+      | Error e ->
+          Fmt.epr "  baseline has native_guards rows but %s — skipping@."
+            (Native.Toolchain.describe_error e)
+      | Ok _ ->
+          let cache_dir = fresh_cache_dir () in
+          let data = native_cube () in
+          let srcs = native_profile_progs () in
+          List.iter
+            (fun row ->
+              match
+                ( Option.bind (J.field "prog" row) J.str,
+                  J.num_field row "guards_ms" )
+              with
+              | Some prog, Some base_ms -> (
+                  match List.assoc_opt prog srcs with
+                  | Some (Some src) ->
+                      with_input data (fun dir ->
+                          (* first run compiles; the timed reps hit the
+                             guarded cache slot *)
+                          ignore (exec_native_guards ~cache_dir ~dir src);
+                          let cur =
+                            wall_min ~reps:7 (fun () ->
+                                ignore
+                                  (exec_native_guards ~cache_dir ~dir src))
+                            *. 1000.
+                          in
+                          check
+                            ("native-guards " ^ prog)
+                            ~baseline_ms:base_ms ~current_ms:cur)
+                  | _ ->
+                      Fmt.epr
+                        "  baseline native_guards row %S unavailable — \
+                         skipping@."
+                        prog)
+              | _ -> ())
+            rows));
   if !failures > 0 then begin
     Fmt.pr "@.%d kernel(s) regressed beyond %.0f%%.@." !failures
       ((compare_threshold -. 1.) *. 100.);
@@ -1129,6 +1244,7 @@ let () =
     bench_scaling ();
     bench_native ();
     bench_native_profile ();
+    bench_native_guards ();
     bench_blocked_kernels ~smoke:false ();
     bench_remarks ();
     write_bench_telemetry ();

@@ -439,8 +439,55 @@ let exec_cmd =
                --keep-c and in the cache directory), pointing C tools \
                back at the original extended-C source.")
   in
+  let guards =
+    Arg.(value & flag & info [ "guards" ]
+         ~doc:"Compile with runtime guards: every emitted subscript is \
+               bounds- and NULL-checked, reference-count underflows \
+               abort, and crash breadcrumbs attribute fatal signals to \
+               source spans. A tripped guard reports a caret-rendered \
+               diagnostic at the faulting span instead of a raw crash. \
+               Guarded binaries occupy their own cache slot.")
+  in
+  let sanitize =
+    Arg.(value
+         & opt (some (enum [ ("address", "address"); ("undefined", "undefined") ]))
+             None
+         & info [ "sanitize" ] ~docv:"MODE"
+             ~doc:"Compile under -fsanitize=MODE (address or undefined). \
+                   The toolchain is probed first: an unsupported \
+                   sanitizer reports a visible diagnostic instead of a \
+                   compile error. Sanitized binaries occupy their own \
+                   cache slot.")
+  in
+  let native_failpoints =
+    Arg.(value & opt_all string []
+         & info [ "failpoints" ] ~docv:"SPEC"
+             ~doc:"Arm fault-injection points inside the native binary \
+                   (via \\$(b,MM_FAILPOINTS) in its environment): \
+                   comma-separated clauses, repeatable. $(b,name\\@K) \
+                   fires on exactly the K-th hit; $(b,name\\@P) fires \
+                   each hit with probability P; $(b,name\\@P:SEED) seeds \
+                   the coin. Known points: native.alloc, \
+                   native.io.read_matrix.")
+  in
+  let native_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECS"
+             ~doc:"Kill the native binary after SECS seconds of wall \
+                   clock (SIGTERM, then SIGKILL after a grace period), \
+                   with a CPU-seconds rlimit as backstop.")
+  in
+  let native_max_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "max-bytes" ] ~docv:"N"
+             ~doc:"Cap the native binary's address space at N bytes \
+                   (plus fixed runtime headroom) via setrlimit, so a \
+                   runaway allocation fails inside the child instead of \
+                   invoking the system OOM killer.")
+  in
   let run exts_names threads data_dir (cc, cflags, keep_c, no_cache, cache_dir)
-      no_fuse no_copy_elim line_directives remarks tele file =
+      no_fuse no_copy_elim line_directives guards sanitize failpoints
+      timeout_s max_bytes remarks tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
     let dir = resolve_data_dir data_dir in
@@ -452,11 +499,28 @@ let exec_cmd =
         Some (if file = "-" then "<stdin>" else file)
       else None
     in
+    (* Validate the failpoint grammar up front with the interpreter-side
+       parser (same clause syntax), so a typo is a usage error here, not
+       an mm_fatal inside the child. *)
+    let failpoints =
+      match failpoints with
+      | [] -> None
+      | specs ->
+          let joined = String.concat "," specs in
+          Support.Failpoint.reset ();
+          (try Support.Failpoint.arm_spec joined
+           with Support.Failpoint.Bad_spec m ->
+             Fmt.epr "mmc: bad failpoint spec: %s@." m;
+             raise (Fatal 2));
+          Support.Failpoint.reset ();
+          Some joined
+    in
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     match
       Driver.exec ~dir ~fuse:(not no_fuse) ~copy_elim:(not no_copy_elim)
-        ~auto_par ~warn ?cc ~cflags ?keep_c ?line_file ~cache:(not no_cache)
-        ~cache_dir ~threads c src
+        ~auto_par ~warn ?cc ~cflags ?keep_c ?line_file ~guards ?sanitize
+        ?failpoints ?timeout_s ?max_bytes ~cache:(not no_cache) ~cache_dir
+        ~threads c src
     with
     | Driver.Ok_ o ->
         Fmt.pr "result: %a@." Native.Exec.pp_value o.Native.Exec.value;
@@ -470,13 +534,14 @@ let exec_cmd =
   in
   let doc =
     "Translate to plain parallel C, compile with the system C compiler \
-     (cached by content hash), execute the native binary and print its \
-     result — bit-identical to $(b,run)."
+     (cached by content hash), execute the native binary supervised and \
+     print its result — bit-identical to $(b,run)."
   in
   Cmd.v (Cmd.info "exec" ~doc)
     Term.(
       const run $ exts_arg $ threads_arg $ data_dir_arg $ native_opts_term
-      $ no_fuse $ no_copy_elim $ line_directives $ remarks_arg
+      $ no_fuse $ no_copy_elim $ line_directives $ guards $ sanitize
+      $ native_failpoints $ native_timeout $ native_max_bytes $ remarks_arg
       $ telemetry_term $ src_arg)
 
 (* --- profile ------------------------------------------------------------------- *)

@@ -63,6 +63,56 @@ let c_string_lit s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+(* --- instrumentation / guard state (shared with expr below) ------------ *)
+
+(* When on, provenance-carrying loops and top-level located statements are
+   wrapped in mm_prof enter/exit calls keyed by a span table generated
+   into the program, so a native run attributes wall time to the same
+   source spans the interpreter profiler reports. *)
+let instrument_mode = ref false
+
+(* Runtime guards (--guards): emitted subscripts route through the
+   MM_GUARD_IDX bounds check attributed to the innermost open source
+   span, and provenance sites additionally push/pop crash breadcrumbs
+   (mm_crumb_push/pop) so a signal death triages to a span even
+   unprofiled.
+   Guards share the provenance-site selection (and the span id space)
+   with instrumentation; either mode alone activates the sites. *)
+let guards_mode = ref false
+
+let sites_on () = !instrument_mode || !guards_mode
+
+(* Span string -> id, in first-emission order (the table index is the id). *)
+let span_ids : (string, int) Hashtbl.t = Hashtbl.create 16
+let span_order : string list ref = ref [] (* reversed *)
+
+let span_id s =
+  match Hashtbl.find_opt span_ids s with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length span_ids in
+      Hashtbl.add span_ids s id;
+      span_order := s :: !span_order;
+      id
+
+(* Spans of the instrumented frames currently open at the emission point,
+   innermost first.  Mirrors the interpreter's runtime frame stack well
+   enough to make the same skip decisions statically: a loop desugared to
+   several nested loops over one source span instruments only the
+   outermost, and a [return] knows which frames to unwind. *)
+let open_spans : string list ref = ref []
+
+let in_frame s f =
+  open_spans := s :: !open_spans;
+  Fun.protect ~finally:(fun () -> open_spans := List.tl !open_spans) f
+
+(* The guard span a subscript check reports: the innermost open
+   provenance frame at the emission point, -1 when none.  Static by
+   design — the runtime breadcrumb stack exists for signal triage only,
+   while subscript attribution never needs to cross a call. *)
+let guard_site_id () =
+  match !open_spans with s :: _ -> span_id s | [] -> -1
+
 let rec expr ?(prec = 0) (e : expr) : string =
   let p = prec_of e in
   let s =
@@ -99,7 +149,10 @@ let rec expr ?(prec = 0) (e : expr) : string =
           (String.concat ""
              (List.map (fun d -> ", " ^ expr ~prec:0 d) dims))
     | MGetFlat (m, off) ->
-        Printf.sprintf "%s->data[%s]" (expr ~prec:60 m) (expr ~prec:0 off)
+        if !guards_mode then
+          Printf.sprintf "MM_GUARD_IDX(%s, %s, %d)" (expr ~prec:60 m)
+            (expr ~prec:0 off) (guard_site_id ())
+        else Printf.sprintf "%s->data[%s]" (expr ~prec:60 m) (expr ~prec:0 off)
     | MDim (m, d) -> Printf.sprintf "%s->dims[%s]" (expr ~prec:60 m) (expr ~prec:0 d)
     | MSize m -> Printf.sprintf "mm_size(%s)" (expr ~prec:0 m)
     | MRead p -> Printf.sprintf "mm_read_matrix(%s)" (expr ~prec:0 p)
@@ -141,44 +194,14 @@ let rec lvalue = function
    default so emitted C is unchanged for existing consumers. *)
 let line_file : string option ref = ref None
 
-(* --- profiling instrumentation (--instrument) -------------------------- *)
-
-(* When on, provenance-carrying loops and top-level located statements are
-   wrapped in mm_prof enter/exit calls keyed by a span table generated
-   into the program, so a native run attributes wall time to the same
-   source spans the interpreter profiler reports. *)
-let instrument_mode = ref false
-
-(* Span string -> id, in first-emission order (the table index is the id). *)
-let span_ids : (string, int) Hashtbl.t = Hashtbl.create 16
-let span_order : string list ref = ref [] (* reversed *)
-
-let span_id s =
-  match Hashtbl.find_opt span_ids s with
-  | Some id -> id
-  | None ->
-      let id = Hashtbl.length span_ids in
-      Hashtbl.add span_ids s id;
-      span_order := s :: !span_order;
-      id
-
-(* Spans of the instrumented frames currently open at the emission point,
-   innermost first.  Mirrors the interpreter's runtime frame stack well
-   enough to make the same skip decisions statically: a loop desugared to
-   several nested loops over one source span instruments only the
-   outermost, and a [return] knows which frames to unwind. *)
-let open_spans : string list ref = ref []
-
-let in_frame s f =
-  open_spans := s :: !open_spans;
-  Fun.protect ~finally:(fun () -> open_spans := List.tl !open_spans) f
+(* --- provenance-site selection (--instrument / --guards) ---------------- *)
 
 (* A sequential loop instruments unless its span is exactly the innermost
    open frame's (tile/vector desugarings stack several loops on one span;
    one frame per span entry is what the interpreter records, and skipping
    the inner copies keeps the hot-path overhead down). *)
 let seq_loop_span prov =
-  if not !instrument_mode then None
+  if not (sites_on ()) then None
   else
     match prov with
     | None -> None
@@ -191,7 +214,7 @@ let seq_loop_span prov =
 (* A parallel loop always instruments: its dispatch decision is exactly
    what the differential profile wants to see. *)
 let par_loop_span prov =
-  if not !instrument_mode then None
+  if not (sites_on ()) then None
   else Option.map (fun sp ->
       let s = Support.Pos.span_to_string sp in
       (span_id s, s))
@@ -201,7 +224,7 @@ let par_loop_span prov =
    interpreter (statement frames nested inside loop frames would double
    every hot span). *)
 let located_span sp =
-  if !instrument_mode && !open_spans = [] then
+  if sites_on () && !open_spans = [] then
     let s = Support.Pos.span_to_string sp in
     Some (span_id s, s)
   else None
@@ -218,16 +241,20 @@ let cur_ret : ctype ref = ref CVoid
 
 (* A [return] inside instrumented frames jumps past their exit calls;
    close them explicitly (innermost first, with zero counts) so the
-   runtime stack never leaks across the call. *)
+   runtime stacks — profiler frames and crash breadcrumbs — never leak
+   across the call. *)
 let unwind_frames buf ind =
   List.iter
     (fun s ->
       let id = Hashtbl.find span_ids s in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "%sif (mm_prof_live) { if (!mm_prof_skip[%d]) mm_prof_exit(%d, 0, \
-            0); else mm_prof_sentries[%d]++; }\n"
-           ind id id id))
+      if !instrument_mode then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%sif (mm_prof_live) { if (!mm_prof_skip[%d]) mm_prof_exit(%d, \
+              0, 0); else mm_prof_sentries[%d]++; }\n"
+             ind id id id);
+      if !guards_mode then
+        Buffer.add_string buf (Printf.sprintf "%smm_crumb_pop();\n" ind))
     !open_spans
 
 let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
@@ -256,7 +283,10 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
         (String.concat ", " (List.map (expr ~prec:0) es))
   | Assign (lv, e) -> line "%s = %s;" (lvalue lv) (expr e)
   | MSetFlat (m, off, v) ->
-      line "%s->data[%s] = %s;" (expr ~prec:60 m) (expr off) (expr v)
+      if !guards_mode then
+        line "MM_GUARD_IDX(%s, %s, %d) = %s;" (expr ~prec:60 m) (expr off)
+          (guard_site_id ()) (expr v)
+      else line "%s->data[%s] = %s;" (expr ~prec:60 m) (expr off) (expr v)
   | VecScatter (m, base, stride, v) ->
       (* No storeu shortcut for stride 1: the buffer is double, so lanes
          widen one by one (exact, matching the interpreter's store). *)
@@ -283,20 +313,30 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
              (mm_prof_skip flips), executions are counted inline with no
              call and no clock — a tiny loop entered per element of an
              enclosing loop costs a few loads.  mm_prof_live is 0 inside
-             a dispatched parallel region, where probes must not fire. *)
-          line "if (mm_prof_live && !mm_prof_skip[%d]) mm_prof_enter(%d);" id
-            id;
+             a dispatched parallel region, where probes must not fire.
+             Breadcrumbs (guard mode) bracket the loop the same way; the
+             stack is thread-local, so pushes inside parallel regions
+             land on each worker's own trail. *)
+          if !instrument_mode then
+            line "if (mm_prof_live && !mm_prof_skip[%d]) mm_prof_enter(%d);" id
+              id;
+          if !guards_mode then line "mm_crumb_push(%d);" id;
           line "for (int %s = 0; %s < %s; %s++) {" l.index l.index
             (expr ~prec:31 l.bound) l.index;
           in_frame sp (fun () -> block buf (ind ^ "  ") l.body);
           line "}";
-          line "if (mm_prof_live) {";
-          line "  if (!mm_prof_skip[%d]) mm_prof_exit(%d, (long long) (%s), 0);"
-            id id (expr l.bound);
-          line "  else { mm_prof_sentries[%d]++; mm_prof_siters[%d] += (long \
-                long) (%s); }"
-            id id (expr l.bound);
-          line "}"
+          if !guards_mode then line "mm_crumb_pop();";
+          if !instrument_mode then begin
+            line "if (mm_prof_live) {";
+            line
+              "  if (!mm_prof_skip[%d]) mm_prof_exit(%d, (long long) (%s), 0);"
+              id id (expr l.bound);
+            line
+              "  else { mm_prof_sentries[%d]++; mm_prof_siters[%d] += (long \
+               long) (%s); }"
+              id id (expr l.bound);
+            line "}"
+          end
       | None ->
           line "for (int %s = 0; %s < %s; %s++) {" l.index l.index
             (expr ~prec:31 l.bound) l.index;
@@ -304,12 +344,15 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
           line "}")
   | ParFor l -> (
       match par_loop_span l.prov with
-      | Some (id, sp) ->
+      | Some (id, sp) when !instrument_mode ->
           (* The worker-time probe lives inside the parallel region but
              outside the work-shared loop, so each thread reports its own
              busy window.  Without OpenMP the pragmas vanish and the block
              runs once on the lone thread; mm_prof_worker is then a no-op
-             because no region was installed. *)
+             because no region was installed.  The breadcrumb brackets
+             the whole dispatch from the master thread; workers keep
+             their own thread-local trails inside the region. *)
+          if !guards_mode then line "mm_crumb_push(%d);" id;
           line "mm_prof_enter_par(%d);" id;
           line "#pragma omp parallel";
           line "{";
@@ -321,7 +364,17 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
           line "  }";
           line "  mm_prof_worker(%d, mm_prof_now() - __mm_prof_w);" id;
           line "}";
-          line "mm_prof_exit_par(%d, (long long) (%s));" id (expr l.bound)
+          line "mm_prof_exit_par(%d, (long long) (%s));" id (expr l.bound);
+          if !guards_mode then line "mm_crumb_pop();"
+      | Some (id, sp) ->
+          (* guards without instrumentation: breadcrumb only *)
+          line "mm_crumb_push(%d);" id;
+          line "#pragma omp parallel for";
+          line "for (int %s = 0; %s < %s; %s++) {" l.index l.index
+            (expr ~prec:31 l.bound) l.index;
+          in_frame sp (fun () -> block buf (ind ^ "  ") l.body);
+          line "}";
+          line "mm_crumb_pop();"
       | None ->
           line "#pragma omp parallel for";
           line "for (int %s = 0; %s < %s; %s++) {" l.index l.index
@@ -370,13 +423,18 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
           (* Same guarded fast path as For loops: statements in a
              function called per element of a hot loop execute far too
              often for an unconditional call per probe. *)
-          line "if (mm_prof_live && !mm_prof_skip[%d]) mm_prof_enter(%d);" id
-            id;
+          if !instrument_mode then
+            line "if (mm_prof_live && !mm_prof_skip[%d]) mm_prof_enter(%d);" id
+              id;
+          if !guards_mode then line "mm_crumb_push(%d);" id;
           in_frame s (fun () -> block buf ind b);
-          line "if (mm_prof_live) {";
-          line "  if (!mm_prof_skip[%d]) mm_prof_exit(%d, 0, 0);" id id;
-          line "  else mm_prof_sentries[%d]++;" id;
-          line "}"
+          if !guards_mode then line "mm_crumb_pop();";
+          if !instrument_mode then begin
+            line "if (mm_prof_live) {";
+            line "  if (!mm_prof_skip[%d]) mm_prof_exit(%d, 0, 0);" id id;
+            line "  else mm_prof_sentries[%d]++;" id;
+            line "}"
+          end
       | None -> block buf ind b)
 
 and block buf ind stmts = List.iter (stmt buf ind) stmts
@@ -536,6 +594,21 @@ let harness_main (p : program) : func =
      time), and dump the sidecar once the result protocol is complete.
      The dump lands in the working directory — the data dir Native.Exec
      runs the binary in — under the fixed sidecar name it reads back. *)
+  (* Supervision plumbing runs before anything else: mm_fail_init arms
+     MM_FAILPOINTS and installs the crash handlers in every harnessed
+     binary (disarmed failpoints cost one load), and guard mode hands
+     the runtime its span table. *)
+  let supervise_init =
+    ExprS (Call ("mm_fail_init", []))
+    ::
+    (if !guards_mode then
+       [
+         ExprS
+           (Call
+              ("mm_guard_init", [ Var "MM_GUARD_NSPANS"; Var "mm_guard_spans" ]));
+       ]
+     else [])
+  in
   let prof_init =
     if !instrument_mode then
       [
@@ -551,7 +624,7 @@ let harness_main (p : program) : func =
     else []
   in
   let body =
-    prof_init
+    supervise_init @ prof_init
     @ (match entry.f_ret with
       | CVoid ->
           (ExprS call :: prof_stop) @ [ ExprS (Call ("mm_result_void", [])) ]
@@ -564,41 +637,50 @@ let harness_main (p : program) : func =
   in
   { f_name = "main"; f_params = []; f_ret = CInt; f_body = body }
 
-(* The generated span table: ids index mm_prof_spans, whose entries are
-   the interpreter profiler's span strings, so the two profiles join
+(* The generated span table: ids index the array, whose entries are the
+   interpreter profiler's span strings, so the two profiles join
    row-for-row on the rendered span.  Non-static: external linkage keeps
-   -Wunused quiet for programs whose harness is compiled separately. *)
-let span_table () =
+   -Wunused quiet for programs whose harness is compiled separately.
+   Instrumentation and guards intern into one id space, so a build with
+   both modes emits the same list twice under the two names each runtime
+   half expects. *)
+let span_table ~count_def ~array_name () =
   let names = List.rev !span_order in
   String.concat "\n"
     ([
-       Printf.sprintf "#define MM_PROF_NSPANS %d" (List.length names);
-       "const char *const mm_prof_spans[] = {";
+       Printf.sprintf "#define %s %d" count_def (List.length names);
+       Printf.sprintf "const char *const %s[] = {" array_name;
      ]
     @ (match names with
       | [] -> [ "  0" ]
       | _ -> List.map (fun s -> "  " ^ c_string_lit s ^ ",") names)
     @ [ "};"; ""; "" ])
 
-(** [program ?line_directives_file ?instrument ?exec_harness p] — the full
-    translation unit.  With [exec_harness] the entry function is renamed
-    away from [main] if necessary and a generated [int main] calls it,
-    prints its result (plus the live-allocation count) through the result
-    protocol, and returns 0 — making the output a complete, runnable
-    program.  With [instrument] provenance-carrying loops and statements
-    are wrapped in mm_prof enter/exit calls over a generated span table,
-    and the harness initialises, stops, and dumps the profiler. *)
-let program ?line_directives_file ?(instrument = false)
+(** [program ?line_directives_file ?instrument ?guards ?exec_harness p]
+    — the full translation unit.  With [exec_harness] the entry function
+    is renamed away from [main] if necessary and a generated [int main]
+    calls it, prints its result (plus the live-allocation count) through
+    the result protocol, and returns 0 — making the output a complete,
+    runnable program.  With [instrument] provenance-carrying loops and
+    statements are wrapped in mm_prof enter/exit calls over a generated
+    span table, and the harness initialises, stops, and dumps the
+    profiler.  With [guards] every emitted subscript routes through the
+    runtime's MM_GUARD_IDX bounds check, mm_rc_dec checks for refcount
+    underflow, and provenance sites push crash breadcrumbs — all
+    attributed to the same span table so faults render at source. *)
+let program ?line_directives_file ?(instrument = false) ?(guards = false)
     ?(exec_harness = false) (p : program) : string =
   line_file := line_directives_file;
   instrument_mode := instrument;
+  guards_mode := guards;
   Hashtbl.reset span_ids;
   span_order := [];
   open_spans := [];
   Fun.protect
     ~finally:(fun () ->
       line_file := None;
-      instrument_mode := false)
+      instrument_mode := false;
+      guards_mode := false)
     (fun () ->
       let p = if exec_harness then rename_entry p else p in
       let p =
@@ -616,7 +698,14 @@ let program ?line_directives_file ?(instrument = false)
       ^ (if instrument then "#include \"mm_prof.h\"\n\n" else "")
       ^ section (List.map tuple_typedef (tuple_types p))
       ^ section (prototypes p)
-      ^ (if instrument then span_table () else "")
+      ^ (if instrument then
+           span_table ~count_def:"MM_PROF_NSPANS" ~array_name:"mm_prof_spans"
+             ()
+         else "")
+      ^ (if guards then
+           span_table ~count_def:"MM_GUARD_NSPANS"
+             ~array_name:"mm_guard_spans" ()
+         else "")
       ^ funcs_text)
 
 (** Emission of a single statement list (golden tests on loop shapes). *)

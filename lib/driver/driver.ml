@@ -273,7 +273,7 @@ let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false) ?warn
     that file, so C-level debuggers and profilers point back at the
     original source. *)
 let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?instrument
-    ?exec_harness (c : composed) (src : string) : string outcome =
+    ?guards ?exec_harness (c : composed) (src : string) : string outcome =
   match frontend c src with
   | Failed d -> Failed d
   | Ok_ ast -> (
@@ -283,7 +283,7 @@ let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?instrument
           Ok_
             (Tel.with_span ~phase:"emit" "driver.emit" (fun () ->
                  Cir.Emit.program ?line_directives_file:line_file ?instrument
-                   ?exec_harness prog)))
+                   ?guards ?exec_harness prog)))
 
 (* --- runtime failure -> structured diagnostic --------------------------------- *)
 
@@ -360,29 +360,57 @@ let run ?fuse ?copy_elim ?auto_par ?warn ?pool ?dir ?(optimize = true)
 
 (* --- native execution (mmc exec) --------------------------------------- *)
 
-(* Native failures carry no source span (they happen after emission), so
-   they anchor at the dummy span; the phase tells the two compile-time
-   classes (no compiler / emitted C rejected) apart from runtime crashes. *)
+(* Map every native failure class to a diagnostic.  Compile-time classes
+   (no compiler / sanitizer unsupported / emitted C rejected) report under
+   "native-compile"; everything after a successful compile is
+   "native-run".  Crash triage recovers source spans where the runtime
+   left them — a [__mm_fault] line's span, or the crash-sidecar
+   breadcrumb a fatal-signal handler flushed — so a native SIGSEGV or a
+   tripped guard renders a caret excerpt exactly like an interpreter
+   failure; classes with no provenance anchor at the dummy span. *)
 let native_failure_diag (e : Native.Exec.error) =
   let phase =
     match e with
     | Native.Exec.Toolchain_error _ -> "native-compile"
-    | Native.Exec.Run_failed _ | Native.Exec.Bad_output _ -> "native-run"
+    | Native.Exec.Run_failed _ | Native.Exec.Run_signaled _
+    | Native.Exec.Run_timeout _ | Native.Exec.Guard_fault _
+    | Native.Exec.Bad_output _ ->
+        "native-run"
   in
-  Support.Diag.error ~phase ~span:Support.Pos.dummy_span "%s"
-    (Native.Exec.describe_error e)
+  let span =
+    match e with
+    | Native.Exec.Guard_fault f -> f.Native.Exec.f_span
+    | Native.Exec.Run_signaled { fault; crash_span; _ } -> (
+        match fault with
+        | Some f when f.Native.Exec.f_span <> None -> f.Native.Exec.f_span
+        | _ -> crash_span)
+    | _ -> None
+  in
+  let span = Option.value span ~default:Support.Pos.dummy_span in
+  Support.Diag.error ~phase ~span "%s" (Native.Exec.describe_error e)
 
 (** [exec c src] — the native twin of {!run}: emit self-contained C (exec
     harness included), compile it with the system toolchain through the
-    binary cache, run the binary in [dir], and parse its printed result.
-    The returned outcome's [value] matches what {!run} would have
-    produced, bit-for-bit. *)
+    binary cache, run the binary supervised in [dir], and parse its
+    printed result.  The returned outcome's [value] matches what {!run}
+    would have produced, bit-for-bit.
+
+    Recovery policy (both legs export telemetry):
+    - a failed compile is retried once after forcing the cache slot to be
+      rebuilt ([native.retries] counts the retry) — a transient toolchain
+      flake or a corrupt cached object must not fail the program;
+    - a signal death in a parallel run ([threads] > 1) triggers one
+      sequential-degrade rerun: [OMP_NUM_THREADS=1] with failpoints
+      disarmed, gauged as [native.degraded].  Deterministic failures
+      (guard faults, mm_fatal exits, timeouts) never degrade — rerunning
+      cannot change them. *)
 let exec ?fuse ?copy_elim ?auto_par ?warn ?dir ?cc ?(cflags = []) ?keep_c
-    ?line_file ?instrument ?(cache = true) ?cache_dir ?(threads = 1)
-    (c : composed) (src : string) : Native.Exec.outcome outcome =
+    ?line_file ?instrument ?guards ?sanitize ?failpoints ?timeout_s
+    ?max_bytes ?(cache = true) ?cache_dir ?(threads = 1) (c : composed)
+    (src : string) : Native.Exec.outcome outcome =
   match
     compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?instrument
-      ~exec_harness:true c src
+      ?guards ~exec_harness:true c src
   with
   | Failed d -> Failed d
   | Ok_ c_text -> (
@@ -395,13 +423,42 @@ let exec ?fuse ?copy_elim ?auto_par ?warn ?dir ?cc ?(cflags = []) ?keep_c
             Sys.mkdir d 0o755;
             d
       in
-      match
+      let attempt ?failpoints ~cache ~threads () =
         Tel.with_span ~phase:"run" "driver.exec" (fun () ->
             Native.Exec.run ?cc ~cflags ~cache ?cache_dir ?keep_c ?instrument
-              ~threads ~dir c_text)
-      with
+              ?sanitize ?failpoints ?timeout_s ?max_bytes ~threads ~dir
+              c_text)
+      in
+      let first = attempt ?failpoints ~cache ~threads () in
+      let recovered =
+        match first with
+        | Error (Native.Exec.Toolchain_error (Native.Toolchain.Compile_failed _))
+          ->
+            (* cache:false skips the lookup but still (re)writes the slot,
+               so a stale object cannot poison the retry *)
+            Tel.set_gauge "native.retries" 1.;
+            attempt ?failpoints ~cache:false ~threads ()
+        | Error (Native.Exec.Run_signaled _) when threads > 1 ->
+            (* [Some ""] explicitly disarms an inherited MM_FAILPOINTS
+               spec: the degraded run must observe the program, not the
+               fault injection that just killed it *)
+            Tel.set_gauge "native.degraded" 1.;
+            attempt ~failpoints:"" ~cache:true ~threads:1 ()
+        | r -> r
+      in
+      match recovered with
       | Ok outcome -> Ok_ outcome
-      | Error e -> Failed [ native_failure_diag e ])
+      | Error e ->
+          (* the first error wins the report when recovery also failed
+             with a strictly less informative class *)
+          let e =
+            match (first, e) with
+            | Error (Native.Exec.Run_signaled _ as orig), Native.Exec.Run_failed _
+              ->
+                orig
+            | _ -> e
+          in
+          Failed [ native_failure_diag e ])
 
 (** [diags_to_string ?src ds] — rendered diagnostics; with [src] each one
     gains a clang-style source excerpt with a caret underline. *)

@@ -1,0 +1,123 @@
+(** Supervised execution of compiled mm programs.
+
+    Replaces the bare [Sys.command] run leg with fork/exec under a
+    parent-side supervisor:
+
+    - the child (spawned by a C stub — OCaml 5 forbids [Unix.fork] once
+      the worker pool's domains exist) chdirs into the data directory,
+      redirects stdout/stderr to files, applies [setrlimit] caps derived
+      from [--max-bytes] (address space) and [--timeout] (CPU seconds,
+      belt-and-braces under the wall-clock deadline), and execs;
+    - the parent polls [waitpid WNOHANG] against a wall-clock deadline,
+      escalating SIGTERM → (0.5 s grace) → SIGKILL when the deadline
+      passes;
+    - the decoded status distinguishes exit codes from signal deaths,
+      with the POSIX signal number and name (OCaml's [Sys.sig*] values
+      are internal negatives), so callers can render "killed by SIGSEGV"
+      instead of a misleading exit code. *)
+
+type status =
+  | Exited of int
+  | Signaled of { signal : int; name : string }
+      (** POSIX signal number and conventional name *)
+  | Timed_out of { after_s : float }
+      (** the wall-clock deadline passed and the child was killed *)
+
+external spawn :
+  exe:string ->
+  dir:string ->
+  stdout_file:string ->
+  stderr_file:string ->
+  envp:string array ->
+  max_bytes:int64 ->
+  cpu_secs:int ->
+  int = "mmc_spawn_bytecode" "mmc_spawn_native"
+
+(* OCaml signal numbers are runtime-internal (negative); map the ones a
+   supervised run can die by to their POSIX identity. *)
+let signal_info s =
+  if s = Sys.sigsegv then (11, "SIGSEGV")
+  else if s = Sys.sigabrt then (6, "SIGABRT")
+  else if s = Sys.sigfpe then (8, "SIGFPE")
+  else if s = Sys.sigkill then (9, "SIGKILL")
+  else if s = Sys.sigterm then (15, "SIGTERM")
+  else if s = Sys.sigill then (4, "SIGILL")
+  else if s = Sys.sigbus then (7, "SIGBUS")
+  else if s = Sys.sigxcpu then (24, "SIGXCPU")
+  else if s = Sys.sigint then (2, "SIGINT")
+  else if s = Sys.sigpipe then (13, "SIGPIPE")
+  else (abs s, Printf.sprintf "signal %d" (abs s))
+
+(* Address-space headroom over the payload cap: the C runtime, libc and
+   OpenMP need real memory of their own, and the cap exists to stop
+   runaways, not to meter allocations byte-exactly (the interpreter's
+   ledger does that). *)
+let as_headroom = 64 * 1024 * 1024
+
+(** [run ?env ?timeout_s ?max_bytes ~dir ~stdout_file ~stderr_file exe]
+    executes [exe] with cwd [dir] and the calling environment extended
+    (entry-wise overridden) by [env].  Blocks until the child is dead
+    and reaped. *)
+let run ?(env = []) ?timeout_s ?max_bytes ~dir ~stdout_file ~stderr_file exe =
+  flush stdout;
+  flush stderr;
+  let overridden k = List.exists (fun (k', _) -> String.equal k k') env in
+  let keep e =
+    match String.index_opt e '=' with
+    | Some i -> not (overridden (String.sub e 0 i))
+    | None -> true
+  in
+  let envp =
+    Array.append
+      (Array.of_list
+         (List.filter keep (Array.to_list (Unix.environment ()))))
+      (Array.of_list (List.map (fun (k, v) -> k ^ "=" ^ v) env))
+  in
+  let pid =
+    spawn ~exe ~dir ~stdout_file ~stderr_file ~envp
+      ~max_bytes:
+        (match max_bytes with
+        | Some b -> Int64.of_int (b + as_headroom)
+        | None -> -1L)
+      ~cpu_secs:
+        (match timeout_s with
+        | Some t -> int_of_float (Float.ceil t) + 2
+        | None -> -1)
+  in
+      let deadline =
+        Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s
+      in
+      let timed_out () = Timed_out { after_s = Option.get timeout_s } in
+      let kill signal =
+        try Unix.kill pid signal with Unix.Unix_error _ -> ()
+      in
+      (* [hard_at = Some t]: SIGTERM is sent and t is the SIGKILL time *)
+      let rec reap hard_at =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> (
+            let now = Unix.gettimeofday () in
+            match (deadline, hard_at) with
+            | Some d, None when now >= d ->
+                kill Sys.sigterm;
+                reap (Some (now +. 0.5))
+            | _, Some hard when now >= hard ->
+                kill Sys.sigkill;
+                let _ = Unix.waitpid [] pid in
+                timed_out ()
+            | _ ->
+                Unix.sleepf 0.002;
+                reap hard_at)
+        | _, Unix.WEXITED c ->
+            if hard_at <> None then timed_out () else Exited c
+        | _, Unix.WSIGNALED s ->
+            if hard_at <> None then timed_out ()
+            else
+              let signal, name = signal_info s in
+              Signaled { signal; name }
+        | _, Unix.WSTOPPED _ ->
+            (* not requested (no WUNTRACED); treat a stopped child as
+               hung so the deadline machinery still applies *)
+            Unix.sleepf 0.002;
+            reap hard_at
+      in
+      reap None

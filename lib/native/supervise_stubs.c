@@ -1,0 +1,112 @@
+/* Spawn stub for Native.Supervise.
+
+   OCaml 5 forbids Unix.fork once other domains exist (the worker pool
+   creates them), so the fork+exec leg lives here in C: forking a
+   multi-threaded process is safe as long as the child only makes
+   async-signal-safe calls before execve — chdir, open, dup2, setrlimit
+   and _exit all qualify.  Everything the child needs (paths, envp,
+   limits) is copied out of the OCaml heap before the fork; the child
+   never touches the runtime.
+
+   The parent-side supervision (waitpid polling, SIGTERM -> SIGKILL
+   escalation) stays in OCaml — those calls are domain-safe. */
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/unixsupport.h>
+
+#include <fcntl.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+static char *dup_string(value v)
+{
+  size_t n = caml_string_length(v);
+  char *s = malloc(n + 1);
+  if (s) { memcpy(s, String_val(v), n); s[n] = '\0'; }
+  return s;
+}
+
+/* mmc_spawn(exe, dir, stdout_file, stderr_file, envp, max_bytes, cpu_secs)
+   -> child pid.  [max_bytes] < 0: no address-space cap; [cpu_secs] < 0:
+   no CPU cap.  The child execs [exe] with argv = {exe, NULL} and the
+   given environment, cwd [dir], streams redirected to the two files;
+   any pre-exec failure exits 127 like a shell would. */
+CAMLprim value mmc_spawn_native(value v_exe, value v_dir, value v_out,
+                                value v_err, value v_envp, value v_max_bytes,
+                                value v_cpu)
+{
+  CAMLparam5(v_exe, v_dir, v_out, v_err, v_envp);
+  char *exe = dup_string(v_exe);
+  char *dir = dup_string(v_dir);
+  char *out = dup_string(v_out);
+  char *err = dup_string(v_err);
+  int nenv = Wosize_val(v_envp);
+  char **envp = malloc(((size_t)nenv + 1) * sizeof(char *));
+  long long max_bytes = Int64_val(v_max_bytes);
+  long cpu_secs = Long_val(v_cpu);
+  int i, ok = exe && dir && out && err && envp;
+  pid_t pid;
+
+  if (envp) {
+    for (i = 0; i < nenv; i++) {
+      envp[i] = dup_string(Field(v_envp, i));
+      if (!envp[i]) ok = 0;
+    }
+    envp[nenv] = NULL;
+  }
+  if (!ok) {
+    caml_raise_out_of_memory();
+  }
+
+  pid = fork();
+  if (pid == 0) {
+    /* child: async-signal-safe calls only, then exec */
+    int fd;
+    if (chdir(dir) != 0) _exit(127);
+    fd = open(out, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0 || dup2(fd, 1) < 0) _exit(127);
+    close(fd);
+    fd = open(err, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0 || dup2(fd, 2) < 0) _exit(127);
+    close(fd);
+    if (max_bytes >= 0) {
+      struct rlimit rl;
+      rl.rlim_cur = (rlim_t)max_bytes;
+      rl.rlim_max = (rlim_t)max_bytes;
+      setrlimit(RLIMIT_AS, &rl);
+    }
+    if (cpu_secs >= 0) {
+      struct rlimit rl;
+      rl.rlim_cur = (rlim_t)cpu_secs;
+      rl.rlim_max = (rlim_t)cpu_secs + 1;
+      setrlimit(RLIMIT_CPU, &rl);
+    }
+    {
+      char *argv[2];
+      argv[0] = exe;
+      argv[1] = NULL;
+      execve(exe, argv, envp);
+    }
+    _exit(127);
+  }
+
+  for (i = 0; i < nenv; i++) free(envp[i]);
+  free(envp);
+  free(exe); free(dir); free(out); free(err);
+  if (pid < 0) caml_uerror("fork", Nothing);
+  CAMLreturn(Val_long(pid));
+}
+
+CAMLprim value mmc_spawn_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return mmc_spawn_native(argv[0], argv[1], argv[2], argv[3], argv[4],
+                          argv[5], argv[6]);
+}

@@ -13,6 +13,8 @@ type t = {
   cc : string;  (** compiler command, e.g. ["cc"] *)
   cflags : string list;  (** extra user flags, after the defaults *)
   openmp : bool;  (** [-fopenmp] accepted: ParFor pragmas are live *)
+  sanitize : string option;
+      (** probed [-fsanitize=] mode ("address" / "undefined"), if any *)
 }
 
 type error =
@@ -20,12 +22,16 @@ type error =
       (** no working C compiler under this name *)
   | Compile_failed of { cmd : string; output : string }
       (** the generated program failed to compile — an emitter bug *)
+  | Sanitizer_unsupported of { cc : string; sanitize : string }
+      (** the compiler exists but rejects [-fsanitize=<mode>] *)
 
 let describe_error = function
   | No_compiler { cc; detail } ->
       Printf.sprintf "no working C compiler %S (%s)" cc detail
   | Compile_failed { cmd; output } ->
       Printf.sprintf "C compilation failed: %s\n%s" cmd (String.trim output)
+  | Sanitizer_unsupported { cc; sanitize } ->
+      Printf.sprintf "%s does not support -fsanitize=%s" cc sanitize
 
 let default_cc () =
   match Sys.getenv_opt "MMC_CC" with Some c when c <> "" -> c | _ -> "cc"
@@ -64,11 +70,24 @@ let try_compile ~cc ~flags ~src_text =
   (try Sys.rmdir dir with Sys_error _ -> ());
   if code = 0 then Ok () else Error (cmd, output)
 
-(** [probe ?cc ?cflags ()] — locate a working compiler and decide whether
-    OpenMP is available under it.  Memoised per configuration. *)
-let probe ?cc ?(cflags = []) () : (t, error) result =
+(* [-fsanitize] builds also want frame pointers and debug info so the
+   sanitizer's reports carry usable stacks. *)
+let sanitize_flags = function
+  | None -> []
+  | Some s -> [ "-fsanitize=" ^ s; "-fno-omit-frame-pointer"; "-g" ]
+
+(** [probe ?cc ?cflags ?sanitize ()] — locate a working compiler, decide
+    whether OpenMP is available under it, and (when [sanitize] is given)
+    verify the compiler links [-fsanitize=<mode>] programs.  Memoised
+    per configuration. *)
+let probe ?cc ?(cflags = []) ?sanitize () : (t, error) result =
   let cc = match cc with Some c when c <> "" -> c | _ -> default_cc () in
-  let key = cc ^ "\x00" ^ String.concat "\x00" cflags in
+  let key =
+    cc ^ "\x00"
+    ^ String.concat "\x00" cflags
+    ^ "\x01"
+    ^ Option.value sanitize ~default:""
+  in
   match Hashtbl.find_opt probe_cache key with
   | Some r -> r
   | None ->
@@ -89,7 +108,7 @@ let probe ?cc ?(cflags = []) () : (t, error) result =
                          | Some i -> String.sub s 0 i
                          | None -> s));
                  })
-        | Ok () ->
+        | Ok () -> (
             let openmp =
               match
                 try_compile ~cc ~flags:("-fopenmp" :: cflags)
@@ -98,16 +117,29 @@ let probe ?cc ?(cflags = []) () : (t, error) result =
               | Ok () -> true
               | Error _ -> false
             in
-            Ok { cc; cflags; openmp }
+            match sanitize with
+            | None -> Ok { cc; cflags; openmp; sanitize = None }
+            | Some s -> (
+                match
+                  try_compile ~cc
+                    ~flags:(sanitize_flags (Some s) @ cflags)
+                    ~src_text:trivial
+                with
+                | Ok () -> Ok { cc; cflags; openmp; sanitize = Some s }
+                | Error _ ->
+                    Error (Sanitizer_unsupported { cc; sanitize = s })))
       in
       Hashtbl.replace probe_cache key r;
       r
 
 (** The flags a toolchain compiles generated programs with, in command
     order.  Without OpenMP the pragmas are dead text, so the unknown-
-    pragma warning is silenced to stay clean under [-Wall]. *)
+    pragma warning is silenced to stay clean under [-Wall].  Sanitizer
+    flags participate, which also gives sanitized builds their own
+    binary-cache slot (the cache key digests the full flag list). *)
 let flags t =
   [ "-O2"; "-Wall" ]
+  @ sanitize_flags t.sanitize
   @ (if t.openmp then [ "-fopenmp" ] else [ "-Wno-unknown-pragmas" ])
   @ t.cflags
 

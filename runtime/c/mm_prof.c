@@ -102,6 +102,20 @@ static void mm_prof_on_alloc(long long bytes) {
   }
 }
 
+/* Crash-triage hook (mm_crash_span_hook target): the active region's
+ * span, else the innermost open frame's.  Reads only ints and pointers
+ * that are stable at signal time, so it is async-signal-safe. */
+static const char *mm_prof_crash_span(void) {
+  if (!mm_prof_enabled || !mm_prof_names) return 0;
+  int region = mm_prof_region;
+  if (region >= 0 && region < mm_prof_nspans) return mm_prof_names[region];
+  if (mm_prof_depth > 0) {
+    int id = mm_prof_stack[mm_prof_depth - 1].id;
+    if (id >= 0 && id < mm_prof_nspans) return mm_prof_names[id];
+  }
+  return 0;
+}
+
 void mm_prof_init(int nspans, const char *const *spans) {
   if (nspans < 0) return;
   size_t n = nspans > 0 ? (size_t)nspans : 1;
@@ -129,6 +143,7 @@ void mm_prof_init(int nspans, const char *const *spans) {
     }
   }
   mm_alloc_hook = mm_prof_on_alloc;
+  mm_crash_span_hook = mm_prof_crash_span;
   mm_prof_t0 = mm_prof_now();
   mm_prof_enabled = 1;
   mm_prof_live = 1;

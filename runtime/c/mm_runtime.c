@@ -4,10 +4,17 @@
  * differential test suite, so change nothing here without running it. */
 #include "mm_runtime.h"
 
+#include <fcntl.h>
+#include <signal.h>
 #include <stdarg.h>
 #include <stdio.h>
 #include <stdlib.h>
 #include <string.h>
+#include <unistd.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 void mm_fatal(const char *fmt, ...) {
   va_list ap;
@@ -17,6 +24,214 @@ void mm_fatal(const char *fmt, ...) {
   fprintf(stderr, "\n");
   va_end(ap);
   exit(70);
+}
+
+/* --- supervised execution ----------------------------------------------
+ * Failpoints, runtime guards, and crash breadcrumbs; see the header for
+ * the __mm_fault protocol and the exit-code split (guards 71, mm_fatal
+ * 70, failpoints abort()). */
+
+typedef struct {
+  char name[48];
+  int nth;        /* > 0: fire on exactly the nth hit, one-shot */
+  double prob;    /* > 0: fire per hit with this probability */
+  long long seed; /* coin seed for prob mode */
+  long long hits;
+} mm_failpoint;
+
+#define MM_FAIL_MAX 8
+static mm_failpoint mm_fail[MM_FAIL_MAX];
+static int mm_nfail = 0;
+
+int mm_guard_on = 0;
+static int mm_guard_nspans = 0;
+static const char *const *mm_guard_spans = 0;
+
+/* Breadcrumb stack of guard-span ids: thread-local storage behind the
+ * inline push/pop macros in the header.  Per-thread trails need no
+ * atomics or omp queries, and the signal handler runs on the faulting
+ * thread, so it reads the stack that actually led to the fault. */
+_Thread_local int mm_crumb_stack[MM_CRUMB_MAX];
+_Thread_local int mm_crumb_depth = 0;
+
+static const char *mm_span_name(int id) {
+  if (mm_guard_spans && id >= 0 && id < mm_guard_nspans)
+    return mm_guard_spans[id];
+  return 0;
+}
+
+const char *(*mm_crash_span_hook)(void) = 0;
+
+/* Fatal-signal handler: write the innermost resolvable span — the crash
+ * hook's answer if any, else the breadcrumb stack — to mm_crash.txt
+ * (async-signal-safe: open/write/close only), then die by the original
+ * signal so the supervisor still sees the true cause. */
+static void mm_crash_handler(int sig) {
+  const char *span = mm_crash_span_hook ? mm_crash_span_hook() : 0;
+  int depth = mm_crumb_depth;
+  if (depth > MM_CRUMB_MAX) depth = MM_CRUMB_MAX;
+  for (int i = depth - 1; i >= 0 && !span; i--)
+    span = mm_span_name(mm_crumb_stack[i]);
+  if (span) {
+    int fd = open("mm_crash.txt", O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ssize_t w = write(fd, span, strlen(span));
+      w += write(fd, "\n", 1);
+      (void)w;
+      close(fd);
+    }
+  }
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+static void mm_crash_install(void) {
+  signal(SIGSEGV, mm_crash_handler);
+  signal(SIGFPE, mm_crash_handler);
+  signal(SIGBUS, mm_crash_handler);
+  signal(SIGABRT, mm_crash_handler);
+}
+
+void mm_guard_init(int nspans, const char *const *spans) {
+  mm_guard_nspans = nspans;
+  mm_guard_spans = spans;
+  mm_guard_on = 1;
+  mm_crash_install();
+}
+
+_Noreturn void mm_guard_fault(int id, const char *fmt, ...) {
+  const char *span = mm_span_name(id);
+  printf("__mm_fault %d %s ", id, span ? span : "-");
+  va_list ap;
+  va_start(ap, fmt);
+  vprintf(fmt, ap);
+  va_end(ap);
+  printf("\n");
+  fflush(0);
+  _exit(71);
+}
+
+/* Slow path of MM_GUARD_IDX — reached only when the inline check has
+ * already failed, so it diagnoses the cause and always faults.  Being
+ * _Noreturn is what makes the fast path fast: the compiler treats the
+ * guard branch as terminal, so it can hoist elems loads out of loops
+ * and fold repeated guards on the same subscript. */
+_Noreturn void mm_guard_check(const void *p, int off, int id) {
+  const mm_mat_float *m = p;
+  if (!m) mm_guard_fault(id, "subscript on uninitialised matrix (NULL)");
+  mm_guard_fault(id, "subscript %d out of bounds for %d elements", off,
+                 m->elems);
+}
+
+/* One clause of MM_FAILPOINTS, already comma-split and trimmed:
+ *   name@K        fire on the K-th hit (K a positive integer)
+ *   name@P        fire each hit with probability P in (0,1]
+ *   name@P:SEED   same, with an explicit coin seed
+ * Mirrors Support.Failpoint.parse_clause, including the rejections. */
+static void mm_fail_clause(char *clause) {
+  while (*clause == ' ' || *clause == '\t') clause++;
+  size_t len = strlen(clause);
+  while (len > 0 && (clause[len - 1] == ' ' || clause[len - 1] == '\t'))
+    clause[--len] = 0;
+  if (len == 0) return; /* blank clauses are ignored, like arm_spec */
+  char *at = strchr(clause, '@');
+  if (!at)
+    mm_fatal("MM_FAILPOINTS \"%s\": expected name@k or name@p[:seed]", clause);
+  *at = 0;
+  char *name = clause, *rest = at + 1;
+  if (!*name || !*rest)
+    mm_fatal("MM_FAILPOINTS \"%s@%s\": empty name or trigger", name, rest);
+  if (mm_nfail >= MM_FAIL_MAX)
+    mm_fatal("MM_FAILPOINTS: more than %d clauses", MM_FAIL_MAX);
+  mm_failpoint *fp = &mm_fail[mm_nfail];
+  memset(fp, 0, sizeof *fp);
+  if (strlen(name) >= sizeof fp->name)
+    mm_fatal("MM_FAILPOINTS: name \"%s\" too long", name);
+  strcpy(fp->name, name);
+  long long seed = 1;
+  char *colon = strchr(rest, ':');
+  if (colon) {
+    char *end;
+    seed = strtoll(colon + 1, &end, 10);
+    if (end == colon + 1 || *end)
+      mm_fatal("MM_FAILPOINTS \"%s\": bad seed \"%s\"", name, colon + 1);
+    *colon = 0;
+  }
+  char *end;
+  long long k = strtoll(rest, &end, 10);
+  if (end != rest && !*end) {
+    if (k < 1)
+      mm_fatal("MM_FAILPOINTS \"%s\": hit count %lld must be >= 1", name, k);
+    fp->nth = (int)k;
+  } else {
+    double p = strtod(rest, &end);
+    if (end == rest || *end)
+      mm_fatal("MM_FAILPOINTS \"%s\": bad trigger \"%s\"", name, rest);
+    if (!(p > 0.0 && p <= 1.0))
+      mm_fatal("MM_FAILPOINTS \"%s\": probability %g outside (0,1]", name, p);
+    fp->prob = p;
+    fp->seed = seed;
+  }
+  mm_nfail++;
+}
+
+void mm_fail_init(void) {
+  mm_crash_install();
+  const char *spec = getenv("MM_FAILPOINTS");
+  if (!spec || !*spec) return;
+  char *copy = malloc(strlen(spec) + 1);
+  if (!copy) mm_fatal("out of memory");
+  strcpy(copy, spec);
+  char *start = copy;
+  for (char *c = copy;; c++) {
+    if (*c == ',' || *c == 0) {
+      int done = *c == 0;
+      *c = 0;
+      mm_fail_clause(start);
+      if (done) break;
+      start = c + 1;
+    }
+  }
+  free(copy);
+}
+
+/* Per-hit coin: a splitmix64 step of (seed, hit index) masked to 63 bits
+ * — the same arithmetic as Support.Failpoint.coin on OCaml's native
+ * ints, so a given (seed, hit sequence) fires the same hits in both
+ * backends for non-negative seeds. */
+static double mm_fail_coin(long long seed, long long n) {
+  const unsigned long long mask = 0x7FFFFFFFFFFFFFFFULL;
+  unsigned long long z = ((unsigned long long)seed * 0x9E3779B9ULL +
+                          (unsigned long long)n * 0xBF58476DULL +
+                          0x94D049BBULL) &
+                         mask;
+  z = ((z ^ (z >> 30)) * 0x4CE4E5B9BF58476DULL) & mask;
+  z = ((z ^ (z >> 27)) * 0x133111EB94D049BBULL) & mask;
+  unsigned long long bits = (z ^ (z >> 31)) & 0x3FFFFFFFULL;
+  return (double)bits / (double)0x40000000ULL;
+}
+
+void mm_fail_hit(const char *name) {
+  if (mm_nfail == 0) return;
+  for (int i = 0; i < mm_nfail; i++) {
+    mm_failpoint *fp = &mm_fail[i];
+    if (strcmp(fp->name, name) != 0) continue;
+    long long n;
+    /* hits can come from inside OpenMP regions; one counter bump per
+     * site keeps Nth-mode one-shot across threads */
+#ifdef _OPENMP
+#pragma omp critical(mm_fail_hits)
+#endif
+    n = ++fp->hits;
+    int fire =
+        fp->nth > 0 ? n == fp->nth : mm_fail_coin(fp->seed, n) < fp->prob;
+    if (fire) {
+      printf("__mm_fault -1 - injected fault at failpoint %s\n", name);
+      fflush(stdout);
+      abort();
+    }
+    return;
+  }
 }
 
 /* --- allocation and reference counting --------------------------------- */
@@ -73,6 +288,7 @@ static size_t mm_elem_size(int kind) {
  * the float variant and set the data pointer behind a char * so the same
  * code serves every kind. */
 static void *mm_alloc(int kind, int rank, va_list ap) {
+  mm_fail_hit("native.alloc");
   if (rank < 0 || rank > MM_MAX_RANK)
     mm_fatal("alloc: implausible rank %d", rank);
   mm_mat_float *m = calloc(1, sizeof(mm_mat_float));
@@ -127,6 +343,8 @@ void mm_rc_inc(void *p) {
 void mm_rc_dec(void *p) {
   if (!p) return;
   mm_mat_float *m = p;
+  if (mm_guard_on && m->rc <= 0)
+    mm_guard_fault(-1, "reference count underflow (rc=%d)", m->rc);
   if (--m->rc <= 0) {
     mm_account_free((long long)m->elems * (long long)mm_elem_size(m->kind));
     free(m->data);
@@ -219,6 +437,7 @@ static long long mm_read_line_int(FILE *f, const char *path, int i) {
 }
 
 void *mm_read_matrix(const char *path) {
+  mm_fail_hit("native.io.read_matrix");
   char *real = mm_resolve_path(path);
   FILE *f = fopen(real, "rb");
   if (!f) mm_fatal("readMatrix \"%s\": cannot open: %s", path, real);

@@ -107,6 +107,90 @@ void mm_result_tuple(int fields);
 void mm_result_mat(const void *m);
 void mm_result_live(void);
 
+/* --- supervised execution ----------------------------------------------
+ * Runtime guards (--guards), MM_FAILPOINTS fault injection, and the
+ * crash-breadcrumb sidecar the mmc supervisor uses to triage signal
+ * deaths back to source spans.
+ *
+ * A guard trip or an injected fault reports through one structured
+ * protocol line on stdout before dying:
+ *   __mm_fault <span_id> <span|-> <message...>
+ * Guard trips _exit(71) — deterministic, distinct from mm_fatal's 70 —
+ * while injected failpoints abort() so they surface as a signal death,
+ * which is what drives the driver's sequential-degrade rerun. */
+
+/* Arm failpoints from the MM_FAILPOINTS environment variable
+ * ("name@K,name@P[:SEED]" — the Support.Failpoint grammar; a malformed
+ * spec is mm_fatal) and install the crash-breadcrumb signal handlers.
+ * Called first thing by every generated exec harness. */
+void mm_fail_init(void);
+
+/* Count one pass through failpoint [name]; prints __mm_fault, flushes,
+ * and abort()s when the armed condition is met on this hit.  The
+ * disarmed fast path is one load of the clause count. */
+void mm_fail_hit(const char *name);
+
+/* Enable runtime guards with the generated guard span table: emitted
+ * subscripts go through MM_GUARD_IDX and mm_rc_dec checks for refcount
+ * underflow. */
+void mm_guard_init(int nspans, const char *const *spans);
+extern int mm_guard_on;
+
+/* Report a guard fault attributed to span [id] (-1 = no span) and
+ * _exit(71).  Does not return. */
+_Noreturn void mm_guard_fault(int id, const char *fmt, ...);
+
+/* Slow path of MM_GUARD_IDX: diagnoses the NULL-matrix or
+ * out-of-bounds cause and faults.  Only ever called once the inline
+ * check has failed; _Noreturn so the optimizer keeps the passing path
+ * free of spills and can hoist bound loads across iterations. */
+_Noreturn void mm_guard_check(const void *m, int off, int id);
+
+/* Crash breadcrumbs: emitted code pushes the innermost provenance span
+ * id around located statements and loops; a fatal signal writes the
+ * innermost resolvable span to mm_crash.txt so the supervisor can
+ * render a caret even for SIGSEGV/SIGFPE deaths.  The stack is
+ * thread-local — every thread keeps its own trail, so pushes inside
+ * parallel regions are race-free and the handler (which runs on the
+ * faulting thread) reads exactly that thread's innermost span — and
+ * push/pop are inline macros: a TLS load, a compare and a store, cheap
+ * enough to sit in per-element code paths.  Depth keeps counting past
+ * MM_CRUMB_MAX so deep nests stay balanced; only the ids below the cap
+ * are recorded. */
+#define MM_CRUMB_MAX 64
+extern _Thread_local int mm_crumb_stack[MM_CRUMB_MAX];
+extern _Thread_local int mm_crumb_depth;
+#define mm_crumb_push(id)                                                     \
+  ((void)((mm_crumb_depth < MM_CRUMB_MAX                                      \
+               ? (void)(mm_crumb_stack[mm_crumb_depth] = (id))                \
+               : (void)0),                                                    \
+          mm_crumb_depth++))
+#define mm_crumb_pop() ((void)(mm_crumb_depth > 0 ? mm_crumb_depth-- : 0))
+
+/* Optional override consulted first by the crash handler (must be
+ * async-signal-safe): returns the span string to record, or NULL to
+ * fall back to the breadcrumb stack.  mm_prof points this at its
+ * open-frame stack so instrumented builds triage without guards. */
+extern const char *(*mm_crash_span_hook)(void);
+
+/* Guarded subscript: checks [off] against [m]'s element count (and [m]
+ * against NULL) before the access; a statement expression so it stays
+ * usable as an lvalue on the left of an assignment.  The passing path
+ * is inline — two compares the branch predictor learns immediately —
+ * and only a failing subscript calls out to mm_guard_check, which
+ * re-derives the cause and reports it; that keeps guarded inner loops
+ * free of per-element function calls. */
+#define MM_GUARD_IDX(m, off, id)                                              \
+  (*({                                                                        \
+    __typeof__(m) __mm_gm = (m);                                              \
+    int __mm_gi = (off);                                                      \
+    if (__builtin_expect(!__mm_gm || (unsigned)__mm_gi >=                     \
+                                         (unsigned)__mm_gm->elems,            \
+                         0))                                                  \
+      mm_guard_check((const void *)__mm_gm, __mm_gi, (id));                   \
+    &__mm_gm->data[__mm_gi];                                                  \
+  }))
+
 /* Integer minimum (tile-boundary bounds from the transform extension). */
 static inline int mm_min(int a, int b) { return a < b ? a : b; }
 

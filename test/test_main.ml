@@ -17,4 +17,5 @@ let () =
       ("faults", Test_faults.suite);
       ("native", Test_native.suite);
       ("native_profile", Test_native_profile.suite);
+      ("native_faults", Test_native_faults.suite);
     ]
