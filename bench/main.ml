@@ -92,8 +92,9 @@ let with_input cube f =
   Interp.Eval.provide_input ~dir "ssh.data" cube;
   f dir
 
-let run_prog ?pool ?fuse ?auto_par ?optimize ~c ~dir src =
-  match Driver.run ~dir ?pool ?fuse ?auto_par ?optimize c src [] with
+let run_prog ?pool ?(fuse = true) ?(auto_par = false) ?optimize ~c ~dir src =
+  let config = Driver.config_of_flags ~fuse ~auto_par c in
+  match Driver.run ~dir ?pool ~config ?optimize c src [] with
   | Driver.Ok_ _ -> ()
   | Driver.Failed ds ->
       Fmt.epr "bench program failed: %s@." (Driver.diags_to_string ds);
@@ -651,7 +652,11 @@ let native_profile_progs () =
    one GOMP single-thread region launch per dispatch (~1.8 ms on
    eddy_energy), which is OpenMP overhead, not instrumentation. *)
 let profile_native_once ~cache_dir ~dir src =
-  match Driver.profile_native ~auto_par:false ~dir ~cache_dir c_full src with
+  match
+    Driver.profile_native
+      ~config:(Driver.config_of_flags ~auto_par:false c_full)
+      ~dir ~cache_dir c_full src
+  with
   | Driver.Ok_ (o, report) -> (o, report)
   | Driver.Failed ds ->
       Fmt.epr "native profile bench failed: %s@." (Driver.diags_to_string ds);
@@ -696,7 +701,11 @@ let bench_native_profile () =
           with_input data (fun dir ->
               let src = Eddy.Programs.fig1_temporal_mean in
               let interp =
-                match Driver.profile ~auto_par:false ~dir c_full src [] with
+                match
+                  Driver.profile
+                    ~config:(Driver.config_of_flags ~auto_par:false c_full)
+                    ~dir c_full src []
+                with
                 | Driver.Ok_ _, report -> report
                 | Driver.Failed ds, _ ->
                     Fmt.epr "interp profile bench failed: %s@."
@@ -795,7 +804,7 @@ let bench_remarks () =
   let explain_all () =
     List.concat_map
       (fun (_, src) ->
-        match Driver.explain ~auto_par:true c_full src with
+        match Driver.explain c_full src with
         | Driver.Ok_ _, report -> report.Driver.Explain_report.remarks
         | Driver.Failed _, _ -> [])
       corpus
@@ -805,7 +814,8 @@ let bench_remarks () =
       (fun (_, src) ->
         match Driver.frontend c_full src with
         | Driver.Ok_ ast ->
-            ignore (Driver.lower ~auto_par:true c_full ast)
+            ignore
+              (Driver.lower ~config:(Driver.explain_config c_full) c_full ast)
         | Driver.Failed _ -> ())
       corpus
   in

@@ -63,6 +63,68 @@ let src_arg =
   let doc = "Extended-C source file ('-' for stdin)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
+(* --- pass pipeline (--passes / -O0 / -O1) ------------------------------------- *)
+
+let passes_arg =
+  Arg.(value & opt (some string) None
+       & info [ "passes" ] ~docv:"PASS[,PASS...]"
+           ~doc:"Run only the named CIR passes, in the given order. The \
+                 remaining registered passes still run disabled — their \
+                 sites are spliced away and their decisions reported as \
+                 skipped. Known passes, in default order: fuse, \
+                 copy-elim, auto-par, transform. Ordering matters: \
+                 $(b,--passes transform,auto-par) applies transform \
+                 scripts before parallelization, letting scripts bind \
+                 loop nests the default order would hand to auto-par \
+                 first.")
+
+let o0_arg =
+  Arg.(value & flag
+       & info [ "O0" ]
+           ~doc:"Disable every optimization pass: the baseline lowering, \
+                 library-style copies included.")
+
+let o1_arg =
+  Arg.(value & flag
+       & info [ "O1" ]
+           ~doc:"Enable every optimization pass, auto-parallelization \
+                 included.")
+
+let pipeline_term =
+  Term.(const (fun p o0 o1 -> (p, o0, o1)) $ passes_arg $ o0_arg $ o1_arg)
+
+(* Build this invocation's pipeline config: the composition's defaults,
+   then -O0/-O1, then the command's own legacy toggles ([tweaks]), then
+   --passes — which overrides both selection and order.  An unknown
+   --passes name is a plain usage error listing the known passes (no
+   caret: there is no source position to point at). *)
+let resolve_config (passes_spec, o0, o1) ?(tweaks = fun cfg -> cfg) c =
+  if o0 && o1 then begin
+    Fmt.epr "mmc: -O0 and -O1 are mutually exclusive@.";
+    raise (Fatal 2)
+  end;
+  (* precedence: per-flag tweaks (--seq, --no-fuse, …) < -O0/-O1 <
+     --passes, most specific last *)
+  let cfg = tweaks (Driver.default_config c) in
+  let cfg =
+    if o0 then Driver.Pipeline.set_all cfg false
+    else if o1 then Driver.Pipeline.set_all cfg true
+    else cfg
+  in
+  match passes_spec with
+  | None -> cfg
+  | Some s -> (
+      let names =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun p -> p <> "")
+      in
+      match Driver.Pipeline.of_spec cfg names with
+      | Ok cfg -> cfg
+      | Error bad ->
+          Fmt.epr "mmc: unknown --passes pass %S (available: %s)@." bad
+            (String.concat ", " (Driver.Pipeline.known cfg));
+          raise (Fatal 2))
+
 (* --- telemetry (--stats / --trace) ------------------------------------------- *)
 
 let stats_arg =
@@ -161,9 +223,13 @@ let check_cmd =
                warnings (e.g. a transform script skipped because a loop \
                became parallel) match what run --threads N would report.")
   in
-  let run exts_names auto_par remarks tele file =
+  let run exts_names auto_par pipeline remarks tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
+    let config =
+      resolve_config pipeline c
+        ~tweaks:(fun cfg -> Driver.Pipeline.enable cfg "auto-par" auto_par)
+    in
     let src = read_source file in
     with_remarks remarks ~src @@ fun () ->
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
@@ -176,7 +242,7 @@ let check_cmd =
            skipped, …) must reach stderr on check too, not only on
            emit/run — checking a program should surface everything short
            of executing it. *)
-        match Driver.lower ~auto_par ~warn c ast with
+        match Driver.lower ~config ~warn c ast with
         | Driver.Ok_ _ ->
             Fmt.pr "%s: OK@." file;
             0
@@ -187,7 +253,8 @@ let check_cmd =
   let doc = "Parse, typecheck and lower an extended-C program." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ exts_arg $ auto_par $ remarks_arg $ telemetry_term $ src_arg)
+      const run $ exts_arg $ auto_par $ pipeline_term $ remarks_arg
+      $ telemetry_term $ src_arg)
 
 (* --- emit ---------------------------------------------------------------------- *)
 
@@ -213,10 +280,16 @@ let emit_cmd =
                (what $(b,profile --native) compiles). Requires \
                mm_prof.h/mm_prof.c from runtime/c/ to build standalone.")
   in
-  let run exts_names no_fuse auto_par line_directives instrument remarks tele
-      file =
+  let run exts_names no_fuse auto_par pipeline line_directives instrument
+      remarks tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
+    let config =
+      resolve_config pipeline c ~tweaks:(fun cfg ->
+          Driver.Pipeline.enable
+            (Driver.Pipeline.enable cfg "fuse" (not no_fuse))
+            "auto-par" auto_par)
+    in
     let src = read_source file in
     with_remarks remarks ~src @@ fun () ->
     let line_file =
@@ -226,8 +299,7 @@ let emit_cmd =
     in
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     match
-      Driver.compile_to_c ~fuse:(not no_fuse) ~auto_par ~warn ?line_file
-        ~instrument c src
+      Driver.compile_to_c ~config ~warn ?line_file ~instrument c src
     with
     | Driver.Ok_ text ->
         print_string text;
@@ -239,8 +311,8 @@ let emit_cmd =
   let doc = "Translate extended C down to plain parallel C (§II)." in
   Cmd.v (Cmd.info "emit" ~doc)
     Term.(
-      const run $ exts_arg $ fuse $ auto_par $ line_directives $ instrument
-      $ remarks_arg $ telemetry_term $ src_arg)
+      const run $ exts_arg $ fuse $ auto_par $ pipeline_term $ line_directives
+      $ instrument $ remarks_arg $ telemetry_term $ src_arg)
 
 (* --- run / profile (shared runtime options) ------------------------------------ *)
 
@@ -353,19 +425,23 @@ let resolve_data_dir = function
       d
 
 let run_cmd =
-  let run exts_names threads data_dir block grain robust remarks tele file =
+  let run exts_names threads data_dir block grain pipeline robust remarks tele
+      file =
     with_telemetry tele @@ fun () ->
     set_kernel_knobs block grain;
     let c = compose_or_die (resolve_exts exts_names) in
+    let config =
+      resolve_config pipeline c ~tweaks:(fun cfg ->
+          Driver.Pipeline.enable cfg "auto-par" (threads > 1))
+    in
     let dir = resolve_data_dir data_dir in
     let src = read_source file in
     with_remarks remarks ~src @@ fun () ->
-    let auto_par = threads > 1 in
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     let exec pool =
       Runtime.Rc.reset ();
       with_robustness robust pool @@ fun () ->
-      match Driver.run ~dir ?pool ~auto_par ~warn c src [] with
+      match Driver.run ~dir ?pool ~config ~warn c src [] with
       | Driver.Ok_ v ->
           Fmt.pr "result: %a@." Interp.Eval.pp_value v;
           let live = Runtime.Rc.live_count () in
@@ -384,7 +460,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
-      $ robustness_term $ remarks_arg $ telemetry_term $ src_arg)
+      $ pipeline_term $ robustness_term $ remarks_arg $ telemetry_term
+      $ src_arg)
 
 (* --- native toolchain options (exec / profile --native) ------------------------ *)
 
@@ -486,14 +563,21 @@ let exec_cmd =
                    invoking the system OOM killer.")
   in
   let run exts_names threads data_dir (cc, cflags, keep_c, no_cache, cache_dir)
-      no_fuse no_copy_elim line_directives guards sanitize failpoints
+      no_fuse no_copy_elim pipeline line_directives guards sanitize failpoints
       timeout_s max_bytes remarks tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
+    let config =
+      resolve_config pipeline c ~tweaks:(fun cfg ->
+          let open Driver.Pipeline in
+          enable
+            (enable (enable cfg "fuse" (not no_fuse)) "copy-elim"
+               (not no_copy_elim))
+            "auto-par" (threads > 1))
+    in
     let dir = resolve_data_dir data_dir in
     let src = read_source file in
     with_remarks remarks ~src @@ fun () ->
-    let auto_par = threads > 1 in
     let line_file =
       if line_directives then
         Some (if file = "-" then "<stdin>" else file)
@@ -517,10 +601,9 @@ let exec_cmd =
     in
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
     match
-      Driver.exec ~dir ~fuse:(not no_fuse) ~copy_elim:(not no_copy_elim)
-        ~auto_par ~warn ?cc ~cflags ?keep_c ?line_file ~guards ?sanitize
-        ?failpoints ?timeout_s ?max_bytes ~cache:(not no_cache) ~cache_dir
-        ~threads c src
+      Driver.exec ~dir ~config ~warn ?cc ~cflags ?keep_c ?line_file ~guards
+        ?sanitize ?failpoints ?timeout_s ?max_bytes ~cache:(not no_cache)
+        ~cache_dir ~threads c src
     with
     | Driver.Ok_ o ->
         Fmt.pr "result: %a@." Native.Exec.pp_value o.Native.Exec.value;
@@ -540,9 +623,9 @@ let exec_cmd =
   Cmd.v (Cmd.info "exec" ~doc)
     Term.(
       const run $ exts_arg $ threads_arg $ data_dir_arg $ native_opts_term
-      $ no_fuse $ no_copy_elim $ line_directives $ guards $ sanitize
-      $ native_failpoints $ native_timeout $ native_max_bytes $ remarks_arg
-      $ telemetry_term $ src_arg)
+      $ no_fuse $ no_copy_elim $ pipeline_term $ line_directives $ guards
+      $ sanitize $ native_failpoints $ native_timeout $ native_max_bytes
+      $ remarks_arg $ telemetry_term $ src_arg)
 
 (* --- profile ------------------------------------------------------------------- *)
 
@@ -581,12 +664,22 @@ let profile_cmd =
                    span: per-loop native speedup, flagging spans whose \
                    gain lags the program-level ratio.")
   in
-  let run exts_names threads data_dir block grain robust json folded top
-      native diff_native (cc, cflags, keep_c, no_cache, cache_dir) remarks
+  let run exts_names threads data_dir block grain pipeline robust json folded
+      top native diff_native (cc, cflags, keep_c, no_cache, cache_dir) remarks
       tele file =
     with_telemetry tele @@ fun () ->
     set_kernel_knobs block grain;
     let c = compose_or_die (resolve_exts exts_names) in
+    (* The interpreted leg keeps its historical default (auto-par follows
+       --threads); the native leg profiles the full pipeline. *)
+    let interp_config =
+      resolve_config pipeline c ~tweaks:(fun cfg ->
+          Driver.Pipeline.enable cfg "auto-par" (threads > 1))
+    in
+    let native_config =
+      resolve_config pipeline c ~tweaks:(fun cfg ->
+          Driver.Pipeline.enable cfg "auto-par" true)
+    in
     let dir = resolve_data_dir data_dir in
     let src = read_source file in
     with_remarks remarks ~src @@ fun () ->
@@ -607,14 +700,14 @@ let profile_cmd =
         folded
     in
     let profile_native () =
-      Driver.profile_native ~dir ~warn ?cc ~cflags ?keep_c
-        ~cache:(not no_cache) ~cache_dir ~threads c src
+      Driver.profile_native ~dir ~config:native_config ~warn ?cc ~cflags
+        ?keep_c ~cache:(not no_cache) ~cache_dir ~threads c src
     in
     let interp_profile k =
       let body pool =
         with_robustness robust pool @@ fun () ->
         let outcome, report =
-          Driver.profile ~dir ?pool ~auto_par:(threads > 1) ~warn c src []
+          Driver.profile ~dir ?pool ~config:interp_config ~warn c src []
         in
         k outcome report
       in
@@ -674,8 +767,9 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const run $ exts_arg $ threads_arg $ data_dir_arg $ block_arg $ grain_arg
-      $ robustness_term $ json $ folded $ top $ native $ diff_native
-      $ native_opts_term $ remarks_arg $ telemetry_term $ src_arg)
+      $ pipeline_term $ robustness_term $ json $ folded $ top $ native
+      $ diff_native $ native_opts_term $ remarks_arg $ telemetry_term
+      $ src_arg)
 
 (* --- explain ------------------------------------------------------------------- *)
 
@@ -726,10 +820,18 @@ let explain_cmd =
     Arg.(value & flag & info [ "no-copy-elim" ]
          ~doc:"Explain with slice-copy elimination off.")
   in
-  let run exts_names json only dump_ir ir_diff seq no_fuse no_copy_elim tele
-      file =
+  let run exts_names json only dump_ir ir_diff seq no_fuse no_copy_elim
+      pipeline tele file =
     with_telemetry tele @@ fun () ->
     let c = compose_or_die (resolve_exts exts_names) in
+    let config =
+      resolve_config pipeline c ~tweaks:(fun cfg ->
+          let open Driver.Pipeline in
+          enable
+            (enable (enable cfg "fuse" (not no_fuse)) "copy-elim"
+               (not no_copy_elim))
+            "auto-par" (not seq))
+    in
     let src = read_source file in
     (* --only pass=…/kind=… *)
     let pass_f = ref None and kind_f = ref None in
@@ -777,10 +879,7 @@ let explain_cmd =
           ps
     in
     let warn d = Fmt.epr "%s@." (Driver.diags_to_string ~src [ d ]) in
-    match
-      Driver.explain ~fuse:(not no_fuse) ~copy_elim:(not no_copy_elim)
-        ~auto_par:(not seq) ~dump_passes ~ir_diff ~warn c src
-    with
+    match Driver.explain ~config ~dump_passes ~ir_diff ~warn c src with
     | Driver.Failed ds, _ ->
         Fmt.epr "%s@." (Driver.diags_to_string ~src ds);
         1
@@ -803,15 +902,22 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
       const run $ exts_arg $ json $ only $ dump_ir $ ir_diff $ seq $ no_fuse
-      $ no_copy_elim $ telemetry_term $ src_arg)
+      $ no_copy_elim $ pipeline_term $ telemetry_term $ src_arg)
 
 (* ---------------------------------------------------------------------------------- *)
 
 let () =
   let doc = "extensible CMINUS translator with parallel matrix extensions" in
   let info = Cmd.info "mmc" ~version:"1.0.0" ~doc in
+  (* cmdliner has no multi-char short options, so accept the
+     conventional -O0/-O1 spellings as aliases for --O0/--O1. *)
+  let argv =
+    Array.map
+      (function "-O0" -> "--O0" | "-O1" -> "--O1" | a -> a)
+      Sys.argv
+  in
   exit
-    (Cmd.eval'
+    (Cmd.eval' ~argv
        (Cmd.group info
           [
             analyze_cmd; check_cmd; emit_cmd; run_cmd; exec_cmd; profile_cmd;

@@ -436,6 +436,11 @@ let rec stmt (buf : Buffer.t) (ind : string) (s : stmt) : unit =
             line "}"
           end
       | None -> block buf ind b)
+  | Site (_, b) ->
+      (* Decision wrapper, not a scope: a finished pipeline leaves none of
+         these behind, but the pretty-printer is also used on intermediate
+         IR ([--dump-ir]), where the payload prints transparently. *)
+      block buf ind b
 
 and block buf ind stmts = List.iter (stmt buf ind) stmts
 
@@ -477,7 +482,7 @@ let rec stmt_tuple_types acc s =
   | Decl (t, _, _) -> add_tuple_types acc t
   | If (_, a, b) ->
       List.fold_left stmt_tuple_types (List.fold_left stmt_tuple_types acc a) b
-  | While (_, b) | Block b | Located (_, b) ->
+  | While (_, b) | Block b | Located (_, b) | Site (_, b) ->
       List.fold_left stmt_tuple_types acc b
   | For l | ParFor l -> List.fold_left stmt_tuple_types acc l.body
   | _ -> acc
@@ -635,7 +640,8 @@ let harness_main (p : program) : func =
     @ prof_dump
     @ [ Return (Some (Int 0)) ]
   in
-  { f_name = "main"; f_params = []; f_ret = CInt; f_body = body }
+  { f_name = "main"; f_params = []; f_ret = CInt; f_body = body;
+    f_span = None; f_origin = None }
 
 (* The generated span table: ids index the array, whose entries are the
    interpreter profiler's span strings, so the two profiles join

@@ -66,6 +66,17 @@ type expr =
 
 type lvalue = LVar of string | LField of lvalue * int
 
+type site = ..
+(** Open payload type for {!Site} annotations: the lowering records a
+    decision *site* (a fusable result copy, an aliasable slice copy, a
+    parallelizable loop, a pending transformation script) around the
+    baseline statements it emitted for it, and the corresponding CIR pass
+    later consumes the site — rewriting or splicing the wrapped
+    statements and emitting the optimization remark.  Constructors are
+    declared by whichever extension owns the decision (the matrix
+    extension's live in [Matrix.Sites], the transform extension's in its
+    own module), so this module stays extension-agnostic. *)
+
 type stmt =
   | Decl of ctype * string * expr option
   | Assign of lvalue * expr
@@ -95,6 +106,13 @@ type stmt =
           the emitter prints the inner statements inline (plus an optional
           [#line] directive) and the interpreter executes them in the
           current environment. *)
+  | Site of site * stmt list
+      (** Optimization-decision wrapper produced by the baseline lowering
+          and consumed by the CIR passes.  Like [Located], NOT a scope:
+          emission, interpretation and transformation matching treat the
+          wrapped statements as spliced inline.  A completed pipeline run
+          leaves no [Site] nodes behind — every registered pass splices
+          (or rewrites) the sites it owns, enabled or not. *)
 
 and loop = {
   index : string;
@@ -112,6 +130,14 @@ type func = {
   f_params : (ctype * string) list;
   f_ret : ctype;
   f_body : stmt list;
+  f_span : Support.Pos.span option;
+      (** span of the source function definition; the rc reporting pass
+          anchors its per-function remark here *)
+  f_origin : string option;
+      (** for functions synthesised by a lowering (lifted matrixMap
+          bodies): the user function whose lowering introduced them.
+          Reference-count accounting attributes their RC traffic to the
+          origin, matching where the programmer wrote the construct. *)
 }
 
 type program = { funcs : func list; main : string }
@@ -167,6 +193,7 @@ let rec map_stmt fe fs s =
     | Spawn (lv, f, args) -> Spawn (lv, f, List.map re args)
     | Sync -> Sync
     | Located (sp, b) -> Located (sp, rb b)
+    | Site (site, b) -> Site (site, rb b)
   in
   fs s'
 

@@ -66,6 +66,7 @@ let rewrite_loop (name : string) (f : loop -> par:bool -> stmt list)
     | While (c, b) -> [ While (c, go_block b) ]
     | Block b -> [ Block (go_block b) ]
     | Located (sp, b) -> [ Located (sp, go_block b) ]
+    | Site (site, b) -> [ Site (site, go_block b) ]
     | s -> [ s ]
   and go_block b = List.concat_map go_stmt b in
   (* Bind before reading [found]: tuple components evaluate right-to-left. *)
@@ -82,7 +83,7 @@ let loop_indices (body : stmt list) : string list =
     | If (_, a, b) ->
         List.iter go a;
         List.iter go b
-    | While (_, b) | Block b | Located (_, b) -> List.iter go b
+    | While (_, b) | Block b | Located (_, b) | Site (_, b) -> List.iter go b
     | _ -> ()
   in
   List.iter go body;
@@ -245,6 +246,7 @@ let apply_reorder names body =
       | If (c, a, b) -> If (c, List.map go a, List.map go b)
       | While (c, b) -> While (c, List.map go b)
       | Located (sp, b) -> Located (sp, List.map go b)
+      | Site (site, b) -> Site (site, List.map go b)
       | s -> s
     in
     match List.map go body with
@@ -449,6 +451,12 @@ let rec vec_stmt lane vec_vars (s : stmt) : stmt list * string list =
             (sp, List.concat_map (fun st -> fst (vec_stmt lane vec_vars st)) b);
         ],
         vec_vars )
+  | Site (site, b) ->
+      ( [
+          Site
+            (site, List.concat_map (fun st -> fst (vec_stmt lane vec_vars st)) b);
+        ],
+        vec_vars )
 
 let apply_vectorize target body =
   let width = Runtime.Simd.default_width in
@@ -517,7 +525,8 @@ let hoist_splats (body : stmt list) : stmt list =
     | If (_, a, b) ->
         List.iter scan a;
         List.iter scan b
-    | While (_, b) | Block b | Located (_, b) -> List.iter scan b
+    | While (_, b) | Block b | Located (_, b) | Site (_, b) ->
+        List.iter scan b
     | _ -> ()
   in
   List.iter scan body;
@@ -546,6 +555,7 @@ let hoist_splats (body : stmt list) : stmt list =
         decr in_loop;
         ParFor { l with bound = go_expr l.bound; body = b }
     | Located (sp, b) -> Located (sp, List.map go_stmt b)
+    | Site (site, b) -> Site (site, List.map go_stmt b)
     | s -> map_stmt go_expr_leafless Fun.id s
   and go_expr_leafless e = if !in_loop > 0 then go_expr_node e else e
   and go_expr_node = function

@@ -37,13 +37,6 @@ type t = {
   mutable params : string list;  (** borrowed matrix parameters *)
   mutable pending : string list;
       (** owned statement-level temporaries awaiting release *)
-  mutable fuse_with_loops : bool;
-      (** §III-A5 assignment/with-loop fusion; disabled for the library-
-          style baseline in the fusion benchmark *)
-  mutable copy_elim : bool;  (** §III-A5 slice-copy elimination *)
-  mutable auto_par : bool;
-      (** §III-C automatic parallelization: outer with-loop / matrixMap
-          loops become [ParFor] regions for the worker pool *)
   mutable extra_funcs : func list;
       (** functions synthesised by lowerings — e.g. matrixMap bodies are
           "lifted out into a new function so that the spawned threads can
@@ -53,11 +46,10 @@ type t = {
           whole-function context for extension lowerings whose validity
           depends on later statements (e.g. the matrix extension's
           alias-safety analysis for slice-copy elimination) *)
-  mutable n_rc_incs : int;
-      (** retain operations emitted into the current function (remark
-          accounting; unlike the telemetry counters these tally even when
-          telemetry is off, so [mmc explain] can report them) *)
-  mutable n_rc_decs : int;  (** release operations, same accounting *)
+  mutable cur_fname : string;
+      (** name of the function currently being lowered — synthesised
+          helpers record it as their [f_origin] so per-function reporting
+          can attribute their cost to the user function *)
   warn : Support.Diag.t -> unit;
       (** sink for non-fatal lowering diagnostics (e.g. a transform script
           skipped because auto-parallelization changed the loop nest) *)
@@ -126,26 +118,13 @@ let consume_pending t (e : expr) =
       true
   | _ -> false
 
-(* Static RC traffic: how many retain/release operations the lowering
-   emits into the generated code (the §III-B/C bookkeeping cost). *)
-let c_rc_incs = Support.Telemetry.counter "lower.rc_incs"
-let c_rc_decs = Support.Telemetry.counter "lower.rc_decs"
-
-let rc_dec t e =
-  if t.rc then begin
-    Support.Telemetry.bump c_rc_decs;
-    t.n_rc_decs <- t.n_rc_decs + 1;
-    [ RcDec e ]
-  end
-  else []
-
-let rc_inc t e =
-  if t.rc then begin
-    Support.Telemetry.bump c_rc_incs;
-    t.n_rc_incs <- t.n_rc_incs + 1;
-    [ RcInc e ]
-  end
-  else []
+(* RC traffic accounting (the lower.rc_incs / lower.rc_decs telemetry
+   counters and the per-function "rc" remarks) lives in the pipeline's rc
+   reporting pass, which counts the operations present in the FINAL
+   program — the baseline lowering emits RC ops inside decision sites
+   that later passes may delete. *)
+let rc_dec t e = if t.rc then [ RcDec e ] else []
+let rc_inc t e = if t.rc then [ RcInc e ] else []
 
 let drain_pending t =
   let rel = List.concat_map (fun v -> rc_dec t (Var v)) t.pending in
@@ -534,8 +513,7 @@ let lower_fundef t (f : Ast.fundef) : func =
   t.scopes <- [];
   t.pending <- [];
   t.cur_body <- f.Ast.body;
-  t.n_rc_incs <- 0;
-  t.n_rc_decs <- 0;
+  t.cur_fname <- f.Ast.fname;
   push_scope t;
   t.params <-
     List.filter_map
@@ -553,32 +531,6 @@ let lower_fundef t (f : Ast.fundef) : func =
     | _ -> false
   in
   let needs_trailing_release = not (ends_with_return body) in
-  (* The scope release is dropped when the body already returned — the
-     return path emitted its own releases — so un-count it. *)
-  if not needs_trailing_release then
-    t.n_rc_decs <- t.n_rc_decs - List.length release;
-  (if Support.Remark.on () then
-     let span = f.Ast.fspan in
-     let details =
-       [
-         ("function", f.Ast.fname);
-         ("incs", string_of_int t.n_rc_incs);
-         ("decs", string_of_int t.n_rc_decs);
-       ]
-     in
-     if not t.rc then
-       Support.Remark.emit ~pass:"rc" ~kind:Support.Remark.Skipped ~span
-         ~details
-         "reference counting disabled (refptr extension not composed): '%s' \
-          manages no matrix ownership"
-         f.Ast.fname
-     else if t.n_rc_incs + t.n_rc_decs = 0 then
-       Support.Remark.emit ~pass:"rc" ~kind:Support.Remark.Missed ~span
-         ~details "no reference-count operations needed in '%s'" f.Ast.fname
-     else
-       Support.Remark.emit ~pass:"rc" ~kind:Support.Remark.Applied ~span
-         ~details "inserted %d retain and %d release operations in '%s'"
-         t.n_rc_incs t.n_rc_decs f.Ast.fname);
   {
     f_name = f.Ast.fname;
     f_params =
@@ -587,15 +539,28 @@ let lower_fundef t (f : Ast.fundef) : func =
         f.Ast.params;
     f_ret = Types.to_ctype (resolve_ty t f.Ast.ret f.Ast.fspan);
     f_body = (if needs_trailing_release then body @ release else body);
+    f_span = Some f.Ast.fspan;
+    f_origin = None;
   }
 
-(** [lower_program hooks ~rc prog] — translate a checked program.  [rc]
-    enables reference-count insertion (the refptr extension);
-    [fuse]/[copy_elim] control the §III-A5 optimizations (on by default;
-    the benchmarks flip them to measure their effect). *)
-let lower_program ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
-    ?(warn = fun _ -> ()) (hooks : hooks list) ~(rc : bool)
-    (prog : Ast.program) : program =
+(** How many times {!lower_program} has run in this process.  The pass
+    pipeline made lowering a once-per-compilation affair ([mmc explain]
+    used to re-lower once per requested stage); the equivalence suite
+    asserts on deltas of this counter.  A plain ref, not a telemetry
+    counter, so the assertion needs no [Telemetry.set_enabled]. *)
+let runs = ref 0
+
+(** [lower_program hooks ~rc prog] — translate a checked program to the
+    {e baseline} CIR: every optimization decision (with-loop fusion,
+    slice-copy aliasing, auto-parallelization, transform scripts) is
+    recorded as a [Site] annotation around the unoptimized statements it
+    would rewrite; the CIR pass pipeline consumes the sites.  [rc]
+    enables reference-count insertion (the refptr extension).  Returns
+    the program together with the gensym allocation trail the pipeline
+    renumbers surviving temporaries from. *)
+let lower_program ?(warn = fun _ -> ()) (hooks : hooks list) ~(rc : bool)
+    (prog : Ast.program) : program * (string * string) list =
+  incr runs;
   let t =
     {
       gensym = Support.Gensym.create ();
@@ -605,13 +570,9 @@ let lower_program ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
       scopes = [];
       params = [];
       pending = [];
-      fuse_with_loops = fuse;
-      copy_elim;
-      auto_par;
       extra_funcs = [];
       cur_body = [];
-      n_rc_incs = 0;
-      n_rc_decs = 0;
+      cur_fname = "";
       warn;
     }
   in
@@ -632,4 +593,4 @@ let lower_program ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
       | f :: _ -> f.Ast.fname
       | [] -> "main"
   in
-  { funcs; main }
+  ({ funcs; main }, Support.Gensym.trail t.gensym)

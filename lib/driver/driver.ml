@@ -12,6 +12,11 @@
 module Cfg = Grammar.Cfg
 module Tel = Support.Telemetry
 
+(* Re-export: the pass-pipeline configuration is part of the driver's
+   public API ([Driver.Pipeline.config] threads through every entry
+   point below). *)
+module Pipeline = Pipeline
+
 type extension = {
   x_name : string;
   grammar : Cfg.t;
@@ -19,6 +24,9 @@ type extension = {
   check_hooks : Cminus.Check.hooks;
   lower_hooks : Cminus.Lower.hooks;
   optimize : Cminus.Ast.program -> Cminus.Ast.program;
+  passes : Cir.Pass.t list;
+      (** CIR passes this extension registers, in its preferred pipeline
+          order; composition concatenates them in extension order *)
   ag_spec : Ag.Wellformed.spec;
   enables_rc : bool;
 }
@@ -33,6 +41,7 @@ let matrix : extension =
     check_hooks = Ext_matrix.Matrix_ext.check_hooks;
     lower_hooks = Ext_matrix.Matrix_ext.lower_hooks;
     optimize = Ext_matrix.Matrix_ext.optimize;
+    passes = Ext_matrix.Matrix_ext.passes;
     ag_spec = Ext_matrix.Matrix_ext.ag_spec;
     enables_rc = false;
   }
@@ -45,6 +54,7 @@ let transform : extension =
     check_hooks = Ext_transform.Transform_ext.check_hooks;
     lower_hooks = Ext_transform.Transform_ext.lower_hooks;
     optimize = Fun.id;
+    passes = [ Ext_transform.Transform_ext.pass ];
     ag_spec = Ext_transform.Transform_ext.ag_spec;
     enables_rc = false;
   }
@@ -57,6 +67,7 @@ let refptr : extension =
     check_hooks = Ext_refptr.Refptr_ext.check_hooks;
     lower_hooks = Ext_refptr.Refptr_ext.lower_hooks;
     optimize = Fun.id;
+    passes = [];
     ag_spec = Ext_refptr.Refptr_ext.ag_spec;
     enables_rc = Ext_refptr.Refptr_ext.enables_rc;
   }
@@ -69,6 +80,7 @@ let cilk : extension =
     check_hooks = Ext_cilk.Cilk_ext.check_hooks;
     lower_hooks = Ext_cilk.Cilk_ext.lower_hooks;
     optimize = Fun.id;
+    passes = [];
     ag_spec = Ext_cilk.Cilk_ext.ag_spec;
     enables_rc = false;
   }
@@ -248,16 +260,45 @@ let frontend ?(optimize = true) (c : composed) (src : string) :
           in
           if Support.Diag.has_errors diags then Failed diags else Ok_ ast)
 
-(** [lower c ast] — translate to the plain-C IR.  [warn] receives
-    non-fatal lowering diagnostics (e.g. transform scripts skipped under
-    auto-parallelization). *)
-let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false) ?warn
-    (c : composed) (ast : Cminus.Ast.program) : Cir.Ir.program outcome =
+(** The CIR passes the selected extensions registered, in pipeline
+    order. *)
+let registered_passes (c : composed) : Cir.Pass.t list =
+  List.concat_map (fun x -> x.passes) c.selected
+
+(** The default pipeline for this composition: every registered pass at
+    its own default. *)
+let default_config (c : composed) : Pipeline.config =
+  Pipeline.default (registered_passes c)
+
+let config_or_default config c =
+  match config with Some cfg -> cfg | None -> default_config c
+
+(** [config_of_flags ?fuse ?copy_elim ?auto_par c] — the historical flag
+    triple as a pipeline config (default order, named stages toggled).
+    Convenience for callers that predate [--passes]. *)
+let config_of_flags ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
+    (c : composed) : Pipeline.config =
+  let open Pipeline in
+  enable
+    (enable (enable (default_config c) "fuse" fuse) "copy-elim" copy_elim)
+    "auto-par" auto_par
+
+(** [lower c ast] — translate to the plain-C IR: one baseline lowering,
+    then the pass pipeline [config] (default: every registered pass at
+    its own default).  [warn] receives non-fatal diagnostics (e.g.
+    transform scripts skipped under auto-parallelization); [sink]
+    collects [--dump-ir] snapshots. *)
+let lower ?config ?warn ?sink (c : composed) (ast : Cminus.Ast.program) :
+    Cir.Ir.program outcome =
+  let cfg = config_or_default config c in
   match
     Tel.with_span ~phase:"lower" "driver.lower" (fun () ->
-        Cminus.Lower.lower_program ~fuse ~copy_elim ~auto_par ?warn
-          (List.map (fun x -> x.lower_hooks) c.selected)
-          ~rc:c.rc ast)
+        let lowered =
+          Cminus.Lower.lower_program ?warn
+            (List.map (fun x -> x.lower_hooks) c.selected)
+            ~rc:c.rc ast
+        in
+        Pipeline.run cfg ~rc:c.rc ?warn ?sink lowered)
   with
   | prog ->
       (* Per-pass remark counts become [remark.<pass>.<kind>] gauges, so
@@ -267,17 +308,19 @@ let lower ?(fuse = true) ?(copy_elim = true) ?(auto_par = false) ?warn
       Ok_ prog
   | exception Cminus.Lower.Lower_error (m, span) ->
       Failed [ Support.Diag.error ~phase:"lower" ~span "%s" m ]
+  | exception Cir.Pass.Error (m, span) ->
+      Failed [ Support.Diag.error ~phase:"lower" ~span "%s" m ]
 
 (** [compile_to_c c src] — the paper's headline artifact: extended C in,
     plain parallel C out.  [line_file] turns on [#line] directives naming
     that file, so C-level debuggers and profilers point back at the
     original source. *)
-let compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?instrument
-    ?guards ?exec_harness (c : composed) (src : string) : string outcome =
+let compile_to_c ?config ?warn ?sink ?line_file ?instrument ?guards
+    ?exec_harness (c : composed) (src : string) : string outcome =
   match frontend c src with
   | Failed d -> Failed d
   | Ok_ ast -> (
-      match lower ?fuse ?copy_elim ?auto_par ?warn c ast with
+      match lower ?config ?warn ?sink c ast with
       | Failed d -> Failed d
       | Ok_ prog ->
           Ok_
@@ -321,8 +364,8 @@ let runtime_failure_diag exn =
 (** [run c src args] — compile and execute on the parallel runtime.
     [pool] supplies the enhanced fork-join worker pool; [dir] hosts the
     program's matrix files. *)
-let run ?fuse ?copy_elim ?auto_par ?warn ?pool ?dir ?(optimize = true)
-    (c : composed) (src : string) (args : Interp.Eval.value list) :
+let run ?config ?warn ?pool ?dir ?(optimize = true) (c : composed)
+    (src : string) (args : Interp.Eval.value list) :
     Interp.Eval.value outcome =
   Option.iter
     (fun p ->
@@ -331,7 +374,7 @@ let run ?fuse ?copy_elim ?auto_par ?warn ?pool ?dir ?(optimize = true)
   match frontend ~optimize c src with
   | Failed d -> Failed d
   | Ok_ ast -> (
-      match lower ?fuse ?copy_elim ?auto_par ?warn c ast with
+      match lower ?config ?warn c ast with
       | Failed d -> Failed d
       | Ok_ prog -> (
           match
@@ -404,12 +447,13 @@ let native_failure_diag (e : Native.Exec.error) =
       disarmed, gauged as [native.degraded].  Deterministic failures
       (guard faults, mm_fatal exits, timeouts) never degrade — rerunning
       cannot change them. *)
-let exec ?fuse ?copy_elim ?auto_par ?warn ?dir ?cc ?(cflags = []) ?keep_c
+let exec ?config ?warn ?dir ?cc ?(cflags = []) ?keep_c
     ?line_file ?instrument ?guards ?sanitize ?failpoints ?timeout_s
     ?max_bytes ?(cache = true) ?cache_dir ?(threads = 1) (c : composed)
     (src : string) : Native.Exec.outcome outcome =
+  let cfg = config_or_default config c in
   match
-    compile_to_c ?fuse ?copy_elim ?auto_par ?warn ?line_file ?instrument
+    compile_to_c ~config:cfg ?warn ?line_file ?instrument
       ?guards ~exec_harness:true c src
   with
   | Failed d -> Failed d
@@ -427,7 +471,7 @@ let exec ?fuse ?copy_elim ?auto_par ?warn ?dir ?cc ?(cflags = []) ?keep_c
         Tel.with_span ~phase:"run" "driver.exec" (fun () ->
             Native.Exec.run ?cc ~cflags ~cache ?cache_dir ?keep_c ?instrument
               ?sanitize ?failpoints ?timeout_s ?max_bytes ~threads ~dir
-              c_text)
+              ~pipeline:(Pipeline.canon cfg) c_text)
       in
       let first = attempt ?failpoints ~cache ~threads () in
       let recovered =
@@ -821,11 +865,13 @@ module Explain_report = struct
     dump : string;  (** rendered IR snapshots; [""] when none requested *)
   }
 
-  let collect () =
+  let collect ?sink () =
     {
       remarks = Support.Remark.results ();
       dump =
-        (if Cir.Snapshot.any_wanted () then Cir.Snapshot.to_string () else "");
+        (match sink with
+        | Some s when s.Cir.Snapshot.passes <> [] -> Cir.Snapshot.to_string s
+        | _ -> "");
     }
 
   (** Keep only remarks matching the [--only pass=…]/[--only kind=…]
@@ -846,64 +892,49 @@ module Explain_report = struct
   let to_json t = Support.Remark.to_json t.remarks
 end
 
+(** The default pipeline for the tracing/measuring entry points
+    ({!explain}, {!profile}, {!profile_native}): auto-parallelization on —
+    those commands answer "what would the optimizer do", so the default
+    shows the full pipeline at work. *)
+let explain_config (c : composed) : Pipeline.config =
+  Pipeline.enable (default_config c) "auto-par" true
+
 (** [explain ?… c src] — compile [src] with remark collection on and
     return (lowering outcome, report).  [dump_passes]/[ir_diff] drive the
-    pass-by-pass IR snapshots: the pipeline lowers in one piece, so "the
-    IR after pass P" is reconstructed by re-lowering with the cumulative
-    flags up to P (remarks and per-clause transform snapshots are
-    suppressed during those intermediate lowerings so nothing is counted
-    twice); the final lowering is the real one, whose transform hook
-    records the per-clause snapshots. *)
-let explain ?(fuse = true) ?(copy_elim = true) ?(auto_par = true)
-    ?(dump_passes = []) ?(ir_diff = false) ?warn (c : composed) (src : string)
-    : Cir.Ir.program outcome * Explain_report.t =
+    pass-by-pass IR snapshots: the program is lowered exactly once and the
+    pass manager records each requested ["ir after <pass>"] snapshot as
+    the pipeline reaches that stage (the transform pass records its own
+    per-clause snapshots into the same sink). *)
+let explain ?config ?(dump_passes = []) ?(ir_diff = false) ?warn
+    (c : composed) (src : string) :
+    Cir.Ir.program outcome * Explain_report.t =
+  let cfg = match config with Some cfg -> cfg | None -> explain_config c in
   Support.Remark.reset ();
   Support.Remark.set_enabled true;
-  Cir.Snapshot.reset ();
-  Cir.Snapshot.configure ~passes:dump_passes ~diff:ir_diff;
+  let sink = Cir.Snapshot.create ~passes:dump_passes ~diff:ir_diff () in
   match frontend c src with
-  | Failed d -> (Failed d, Explain_report.collect ())
+  | Failed d -> (Failed d, Explain_report.collect ~sink ())
   | Ok_ ast ->
-      let staged (pass, f, ce, ap) =
-        if Cir.Snapshot.wants pass then begin
-          Support.Remark.set_enabled false;
-          Cir.Snapshot.set_live false;
-          (match lower ~fuse:f ~copy_elim:ce ~auto_par:ap c ast with
-          | Ok_ prog ->
-              Cir.Snapshot.set_live true;
-              Cir.Snapshot.record ~pass ~label:"program"
-                (Cir.Emit.program prog)
-          | Failed _ -> ());
-          Cir.Snapshot.set_live true;
-          Support.Remark.set_enabled true
-        end
-      in
-      List.iter staged
-        [
-          ("lower", false, false, false);
-          ("fuse", fuse, false, false);
-          ("copy-elim", fuse, copy_elim, false);
-          ("auto-par", fuse, copy_elim, auto_par);
-        ];
-      let out = lower ~fuse ~copy_elim ~auto_par ?warn c ast in
-      (out, Explain_report.collect ())
+      let out = lower ~config:cfg ?warn ~sink c ast in
+      (out, Explain_report.collect ~sink ())
 
 (** [profile ?… c src args] — run [src] with the source-attributed
     profiler enabled and return (program result outcome, report).  The
     profiler and RC registry are reset first so the report covers exactly
     this run, and the wall clock starts after lowering so the report's
     coverage measures execution, not compilation. *)
-let profile ?fuse ?copy_elim ?(auto_par = true) ?warn ?pool ?dir
+let profile ?config ?warn ?pool ?dir
     (c : composed) (src : string) (args : Interp.Eval.value list) :
     Interp.Eval.value outcome * Profile_report.t =
   Option.iter
     (fun p ->
       Tel.set_gauge "pool.threads" (float_of_int (Runtime.Pool.threads p)))
     pool;
+  let cfg = match config with Some cfg -> cfg | None -> explain_config c in
   let prep =
     match frontend c src with
     | Failed d -> Failed d
-    | Ok_ ast -> lower ?fuse ?copy_elim ~auto_par ?warn c ast
+    | Ok_ ast -> lower ~config:cfg ?warn c ast
   in
   match prep with
   | Failed d -> (Failed d, Profile_report.collect ~wall_ns:0 ())
@@ -943,11 +974,12 @@ let profile ?fuse ?copy_elim ?(auto_par = true) ?warn ?pool ?dir
     (instrumented binaries key separately), and parse the binary's
     mm_profile.json sidecar back into the same report shape [mmc
     profile] renders for interpreted runs. *)
-let profile_native ?fuse ?copy_elim ?(auto_par = true) ?warn ?dir ?cc ?cflags
+let profile_native ?config ?warn ?dir ?cc ?cflags
     ?keep_c ?cache ?cache_dir ?(threads = 1) ?line_file (c : composed)
     (src : string) : (Native.Exec.outcome * Profile_report.t) outcome =
+  let cfg = match config with Some cfg -> cfg | None -> explain_config c in
   match
-    exec ?fuse ?copy_elim ~auto_par ?warn ?dir ?cc ?cflags ?keep_c ?line_file
+    exec ~config:cfg ?warn ?dir ?cc ?cflags ?keep_c ?line_file
       ~instrument:true ?cache ?cache_dir ~threads c src
   with
   | Failed d -> Failed d

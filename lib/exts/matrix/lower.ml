@@ -5,10 +5,15 @@
     operator overloads, matrixMap with its lifted per-slice function, and
     the [init]/[dimSize]/[readMatrix]/[writeMatrix] builtins.
 
-    Parallel code generation (§III-C): when the driver enables
-    [auto_par], the outermost loop of every genarray and the matrixMap
-    iteration space become [ParFor] regions executed by the enhanced
-    fork-join pool. *)
+    This is the {e baseline} lowering: every optimization decision —
+    with-loop fusion, slice-copy aliasing, auto-parallelization (§III-C:
+    the outermost loop of every genarray and the matrixMap iteration
+    space can become [ParFor] regions for the enhanced fork-join pool) —
+    is emitted in its unoptimized form wrapped in a {!Sites} annotation,
+    and the extension's CIR passes ({!Passes}) consume the sites.  Only
+    analyses that genuinely need AST context (the alias-safety scan for
+    slice-copy elimination) run here; their verdicts travel in the site
+    payload. *)
 
 module L = Cminus.Lower
 module T = Cminus.Types
@@ -87,17 +92,10 @@ let ew_loop t ~span ~(model : string) ~(rank : int) ~(out_elem : Nd.elem)
       prov = Some span;
     }
   in
-  (if t.L.auto_par then
-     R.emit ~pass:"auto-par" ~kind:R.Applied ~span
-       "promoted elementwise loop to a parallel region (each index writes \
-        one output element)"
-   else
-     R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
-       "auto-parallelization disabled: elementwise loop stays sequential");
   let stmts =
     [
       Decl (CMat (out_elem, rank), r, Some alloc);
-      (if t.L.auto_par then ParFor loop else For loop);
+      Site (Sites.AutoPar { kind = Sites.Elemwise; span }, [ For loop ]);
     ]
   in
   L.add_pending t r;
@@ -185,18 +183,13 @@ let h_binop t (op : A.binop) (a : A.expr) (b : A.expr) (rty : T.ty) span :
           prov = Some span;
         }
       in
-      (if t.L.auto_par then
-         R.emit ~pass:"auto-par" ~kind:R.Applied ~span
-           "promoted matrix-multiplication row loop to a parallel region"
-       else
-         R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
-           "auto-parallelization disabled: matrix-multiplication row loop \
-            stays sequential");
       let stmts =
         sa @ sb
         @ [
             Decl (CMat (e1, 2), r, Some (MAlloc (e1, [ m; n ])));
-            (if t.L.auto_par then ParFor row_loop else For row_loop);
+            Site
+              ( Sites.AutoPar { kind = Sites.MatmulRow; span },
+                [ For row_loop ] );
           ]
       in
       L.add_pending t r;
@@ -618,43 +611,20 @@ let h_subscript t (base : A.expr) (indices : A.index list) (rty : T.ty) span :
         let idxs = List.map (function SAt e -> e | _ -> assert false) specs in
         let off = flat_offset (dims_of vb rank) idxs in
         Some (sb @ si, MGetFlat (Var vb, off))
-      else if
-        t.L.copy_elim
-        && List.for_all (function SAll -> true | _ -> false) specs
-        && alias_safe t base indices
-      then begin
-        (* Identity slice m[:, …, :]: §III-A5 copy elimination — alias the
-           source (retaining it) instead of allocating and copying every
-           element.  The alias analysis proved neither the base nor the
-           alias is buffer-written or escapes while both are live, so the
-           alias is observationally the copy. *)
-        R.emit ~pass:"copy-elim" ~kind:R.Applied ~span
-          ~details:[ ("alias", snd (alias_verdict t base indices)) ]
-          "identity slice aliased to its base: copy elided";
-        Support.Telemetry.bump c_identity_slices;
-        L.add_pending t vb;
-        Some (sb @ si @ L.rc_inc t (Var vb), Var vb)
-      end
       else begin
-        (if R.on () then
-           let identity =
-             List.for_all (function SAll -> true | _ -> false) specs
-           in
-           if identity && not t.L.copy_elim then
-             R.emit ~pass:"copy-elim" ~kind:R.Skipped ~span
-               "copy elimination disabled: identity slice allocates a copy"
-           else if identity then begin
-             let _, why = alias_verdict t base indices in
-             R.emit ~pass:"copy-elim" ~kind:R.Missed ~span
-               ~details:[ ("alias", why) ]
-               "identity slice kept its copy: %s" why
-           end
-           else
-             R.emit ~pass:"copy-elim" ~kind:R.Missed ~span
-               "slice allocates a copy (selection is not the whole matrix, \
-                so the buffer cannot be aliased)");
-        Support.Telemetry.bump c_slice_copies;
-        (* General slice: allocate and copy the selected region. *)
+        (* Allocating copy of the selected region — the baseline for every
+           non-scalar selection.  For an identity slice m[:, …, :] the
+           §III-A5 copy elimination pass may replace the payload of the
+           [SliceAlias] site below with a retained alias of the source;
+           the alias-safety verdict (whether neither handle is
+           buffer-written or escapes while both are live) needs the AST
+           context, so it is computed HERE and shipped in the site. *)
+        let identity =
+          List.for_all (function SAll -> true | _ -> false) specs
+        in
+        let safe, why =
+          if identity then alias_verdict t base indices else (false, "")
+        in
         let out_elem, _out_rank = mat_of_ty span rty in
         let kept_dims =
           List.mapi (fun d sp -> (d, sp)) specs
@@ -697,9 +667,14 @@ let h_subscript t (base : A.expr) (indices : A.index list) (rty : T.ty) span :
         in
         let stmts =
           sb @ si
-          @ (Decl (CMat (out_elem, List.length kept_dims), r,
-               Some (MAlloc (out_elem, extents)))
-            :: loops)
+          @ [
+              Site
+                ( Sites.SliceAlias
+                    { base = vb; slice = r; identity; safe; why; span },
+                  Decl (CMat (out_elem, List.length kept_dims), r,
+                    Some (MAlloc (out_elem, extents)))
+                  :: loops );
+            ]
         in
         L.add_pending t r;
         Some (stmts, Var r)
@@ -843,17 +818,16 @@ let lower_generator t (gen : Nodes.generator) :
   let actual = List.map (fun (id, _, _, _) -> Var id) dims in
   (!prelude, loops, actual)
 
-(* Wrap [inner] in the generator loop nest; the outermost loop becomes a
-   ParFor under auto-parallelization (§III-C). *)
-let build_nest ?prov t loops inner =
+(* Wrap [inner] in the generator loop nest — always sequential [For]s;
+   the auto-par pass promotes the outermost loop of a [`[For l]`]-shaped
+   nest to a ParFor region (§III-C) when enabled. *)
+let build_nest ?prov loops inner =
   let rec go = function
     | [] -> inner
     | (v, count, binds) :: rest ->
         [ For { index = v; bound = count; body = binds @ go rest; prov } ]
   in
-  match go loops with
-  | [ For l ] when t.L.auto_par -> [ ParFor l ]
-  | nest -> nest
+  go loops
 
 let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
     span : stmt list * expr =
@@ -879,63 +853,43 @@ let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
         | _ -> ebody
       in
       let inner = sbody @ [ MSetFlat (Var r, flat_offset eshape actual, ebody) ] in
-      let nest = build_nest ~prov:span t loops inner in
-      (match nest with
-      | ParFor _ :: _ ->
-          R.emit ~pass:"auto-par" ~kind:R.Applied ~span
-            "promoted with-loop's outermost generator loop to a parallel \
-             region"
-      | _ ->
-          if t.L.auto_par then
-            R.emit ~pass:"auto-par" ~kind:R.Missed ~span
-              "with-loop has no generator loop nest to parallelize"
-          else
-            R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
-              "auto-parallelization disabled: with-loop nest stays \
-               sequential");
+      let nest = build_nest ~prov:span loops inner in
+      let nest =
+        [ Site (Sites.AutoPar { kind = Sites.WithGen; span }, nest) ]
+      in
       let stmts =
         prelude @ sshape
         @ (Decl (CMat (out_elem, out_rank), r, Some (MAlloc (out_elem, eshape)))
           :: nest)
       in
-      if t.L.fuse_with_loops then begin
-        R.emit ~pass:"fuse" ~kind:R.Applied ~span
-          "with-loop result feeds its consumer directly: no temporary copy";
-        Support.Telemetry.bump c_fused;
-        L.add_pending t r;
-        (stmts, Var r)
-      end
-      else begin
-        R.emit ~pass:"fuse" ~kind:R.Missed ~span
-          ~details:
-            [ ("blocking", "library-style evaluation requested (--no-fuse)") ]
-          "with-loop paid a library-style result copy (fusion disabled)";
-        Support.Telemetry.bump c_library_copies;
-        (* Library-style baseline (§III-A5): "a library implementation
-           would likely evaluate the result of the with-loops into a
-           temporary variable which is then copied" — materialise that
-           extra copy so the fusion benchmark can measure it. *)
-        let cpy = L.fresh t "libcpy" and i = L.fresh t "i" in
-        let copy_stmts =
-          [
-            Comment "library-style result copy (fusion disabled)";
-            Decl
-              ( CMat (out_elem, out_rank),
-                cpy,
-                Some (MAlloc (out_elem, dims_of r out_rank)) );
-            For
-              {
-                index = i;
-                bound = MSize (Var r);
-                body = [ MSetFlat (Var cpy, Var i, MGetFlat (Var r, Var i)) ];
-                prov = Some span;
-              };
-          ]
-          @ L.rc_dec t (Var r)
-        in
-        L.add_pending t cpy;
-        (stmts @ copy_stmts, Var cpy)
-      end
+      (* Library-style baseline (§III-A5): "a library implementation
+         would likely evaluate the result of the with-loops into a
+         temporary variable which is then copied" — materialise that
+         extra copy inside a [FuseCopy] site.  The fusion pass deletes it
+         (feeding the result to its consumer directly); when fusion is
+         off the splice IS the library-style benchmark baseline. *)
+      let cpy = L.fresh t "libcpy" and i = L.fresh t "i" in
+      let copy_stmts =
+        [
+          Comment "library-style result copy (fusion disabled)";
+          Decl
+            ( CMat (out_elem, out_rank),
+              cpy,
+              Some (MAlloc (out_elem, dims_of r out_rank)) );
+          For
+            {
+              index = i;
+              bound = MSize (Var r);
+              body = [ MSetFlat (Var cpy, Var i, MGetFlat (Var r, Var i)) ];
+              prov = Some span;
+            };
+        ]
+        @ L.rc_dec t (Var r)
+      in
+      L.add_pending t cpy;
+      ( stmts
+        @ [ Site (Sites.FuseCopy { result = r; copy = cpy; span }, copy_stmts) ],
+        Var cpy )
   | Nodes.OFold (fop, base, body) ->
       let acc_ty = match rty with T.TFloat -> CFloat | T.TBool -> CBool | _ -> CInt in
       let acc = L.fresh t "acc" in
@@ -969,20 +923,11 @@ let lower_with t (gen : Nodes.generator) (op : Nodes.operation) (rty : T.ty)
             ]
       in
       let inner = sbody @ update in
-      (* folds stay sequential inside each genarray element (Fig 3) *)
-      let saved = t.L.auto_par in
-      t.L.auto_par <- false;
-      let nest = build_nest ~prov:span t loops inner in
-      t.L.auto_par <- saved;
-      (if saved then
-         R.emit ~pass:"auto-par" ~kind:R.Missed ~span
-           ~details:
-             [ ("demoted", "every iteration updates the single accumulator") ]
-           "fold with-loop demoted to sequential: iterations race on the \
-            fold accumulator"
-       else
-         R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
-           "auto-parallelization disabled: fold nest stays sequential");
+      (* folds stay sequential inside each genarray element (Fig 3): the
+         auto-par pass never promotes a FoldAcc site — iterations race on
+         the accumulator — but still owns the remark. *)
+      let nest = build_nest ~prov:span loops inner in
+      let nest = [ Site (Sites.AutoPar { kind = Sites.FoldAcc; span }, nest) ] in
       ( prelude @ sbase @ (Decl (acc_ty, acc, Some ebase) :: nest),
         Var acc )
 
@@ -1065,6 +1010,8 @@ let lower_matrix_map t (fname : string) (marg : A.expr) (dims : int list)
         @ L.rc_dec t (Var slice)
         @ L.rc_dec t (Var outv)
         @ [ Return None ];
+      f_span = None;
+      f_origin = Some t.L.cur_fname;
     }
   in
   t.L.extra_funcs <- lf :: t.L.extra_funcs;
@@ -1082,20 +1029,12 @@ let lower_matrix_map t (fname : string) (marg : A.expr) (dims : int list)
       prov = Some span;
     }
   in
-  (if t.L.auto_par then
-     R.emit ~pass:"auto-par" ~kind:R.Applied ~span
-       "promoted matrixMap iteration space to a parallel region (lifted \
-        '%s' runs per slice on the pool)"
-       fname
-   else
-     R.emit ~pass:"auto-par" ~kind:R.Skipped ~span
-       "auto-parallelization disabled: matrixMap slices run sequentially");
   let stmts =
     sm
     @ [
         Decl (CMat (out_elem, rank), r, Some (MAlloc (out_elem, dims_of vm rank)));
         Decl (CInt, total, Some total_expr);
-        (if t.L.auto_par then ParFor loop else For loop);
+        Site (Sites.AutoPar { kind = Sites.MatrixMap fname; span }, [ For loop ]);
       ]
   in
   L.add_pending t r;

@@ -28,6 +28,9 @@ let lower_hooks : Cminus.Lower.hooks =
     on the AST before semantic analysis. *)
 let optimize = Opt.run
 
+(** CIR passes, in default pipeline order: fuse, copy-elim, auto-par. *)
+let passes = Passes.all
+
 (** AG-spec metadata: every production defines the host's [errors] and
     [type] attributes and forwards for its translation, the pattern that
     passes the modular well-definedness analysis (§VI-B). *)

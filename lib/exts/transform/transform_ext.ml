@@ -183,7 +183,14 @@ let check_hooks : Cminus.Check.hooks =
         | _ -> false);
   }
 
-(* --- lowering: apply the script to this statement's generated loops ------------------- *)
+(* --- lowering: record the script as a site on the generated loops --------------------- *)
+
+type Cir.Ir.site +=
+  | Script of { ts : T.t list; span : Support.Pos.span }
+      (** Payload: the lowered assignment's statements (the loop nest the
+          script restructures).  The transform {!pass} applies the clauses
+          in order — after auto-parallelization in the default pipeline,
+          which is exactly the scheduling conflict §V worries about. *)
 
 (* Demote every ParFor back to a plain For (recursively).  Used only to
    decide whether a script that failed to bind would have bound against
@@ -222,67 +229,101 @@ let lower_hooks : Cminus.Lower.hooks =
     Cminus.Lower.l_stmt =
       (fun t ext span ->
         match ext with
-        | STransformAssign (lhs, rhs, ts) -> (
+        | STransformAssign (lhs, rhs, ts) ->
             let stmts = Cminus.Lower.lower_assign t span lhs rhs in
-            let loc = Support.Pos.span_to_string span in
-            (* Apply clause by clause — same semantics as [T.apply_all]
-               (in-order fold, then splat hoisting when any clause
-               vectorized) — so every bound clause gets its own remark and
-               [--dump-ir=transform] snapshot. *)
-            let apply_clauses body =
-              if Cir.Snapshot.wants "transform" && ts <> [] then
-                Cir.Snapshot.record ~pass:"transform" ~label:loc
-                  ~note:"input (before script)" (Cir.Emit.stmts body);
-              let rec go body = function
-                | [] -> Ok body
-                | clause :: rest -> (
-                    match T.apply clause body with
-                    | Error _ as e -> e
-                    | Ok body' ->
-                        Support.Remark.emit ~pass:"transform"
-                          ~kind:Support.Remark.Applied ~span
-                          ~details:[ ("clause", T.to_string clause) ]
-                          "transformation '%s' bound its loop indices and \
-                           was applied"
-                          (T.to_string clause);
-                        Cir.Snapshot.record ~pass:"transform" ~label:loc
-                          ~note:(T.to_string clause)
-                          (Cir.Emit.stmts body');
-                        go body' rest)
-              in
-              Result.map
-                (fun b ->
-                  if
-                    List.exists
-                      (function T.Vectorize _ -> true | _ -> false)
-                      ts
-                  then T.hoist_splats b
-                  else b)
-                (go body ts)
-            in
-            match apply_clauses stmts with
-            | Ok stmts' -> Some (Cir.Ir.fold_deep stmts')
-            | Error msg -> (
-                (* The §V error check: indices must name generated loops.
-                   But if the script binds against a For-demoted copy of
-                   the nest, the programmer's indices were fine — it is
-                   auto-parallelization's ParFor header that broke the
-                   pattern (tile/interchange need a perfect For nest).
-                   That is a scheduling conflict, not a user error: keep
-                   the auto-parallelized, untransformed loops and say so
-                   with a warning instead of failing the build. *)
-                match
-                  if t.Cminus.Lower.auto_par then
-                    T.apply_all ts (demote_parfors stmts)
-                  else Error msg
-                with
-                | Ok _ ->
-                    let r = skip_remark ~span msg in
-                    Support.Remark.record r;
-                    t.Cminus.Lower.warn (Support.Remark.to_diag r);
-                    Some (Cir.Ir.fold_deep stmts)
-                | Error _ -> Cminus.Lower.err span "%s" msg))
+            Some [ Cir.Ir.Site (Script { ts; span }, stmts) ]
         | _ -> None);
+  }
+
+(* --- the transform pass: apply each recorded script ----------------------------------- *)
+
+let pass : Cir.Pass.t =
+  {
+    Cir.Pass.name = "transform";
+    default_on = true;
+    renumbers = false;
+    (* Snapshots here are per applied clause, not one per program: the
+       pass records its own instead of taking the manager's. *)
+    managed_snapshot = false;
+    run =
+      (fun ctx ~enabled p ->
+        Cir.Pass.rewrite_sites
+          (fun site payload ->
+            match site with
+            | Script { ts = []; _ } -> Some payload
+            | Script { ts; span } when not enabled ->
+                Support.Remark.emit ~pass:"transform"
+                  ~kind:Support.Remark.Skipped ~span
+                  ~details:
+                    [ ("script", String.concat ". " (List.map T.to_string ts)) ]
+                  "transform pass disabled: transformation script left \
+                   unapplied";
+                Some payload
+            | Script { ts; span } -> (
+                let loc = Support.Pos.span_to_string span in
+                let snap ~note body =
+                  match ctx.Cir.Pass.sink with
+                  | Some sink ->
+                      Cir.Snapshot.record sink ~pass:"transform" ~label:loc
+                        ~note (Cir.Emit.stmts body)
+                  | None -> ()
+                in
+                (* Apply clause by clause — same semantics as [T.apply_all]
+                   (in-order fold, then splat hoisting when any clause
+                   vectorized) — so every bound clause gets its own remark
+                   and [--dump-ir=transform] snapshot. *)
+                let apply_clauses body =
+                  snap ~note:"input (before script)" body;
+                  let rec go body = function
+                    | [] -> Ok body
+                    | clause :: rest -> (
+                        match T.apply clause body with
+                        | Error _ as e -> e
+                        | Ok body' ->
+                            Support.Remark.emit ~pass:"transform"
+                              ~kind:Support.Remark.Applied ~span
+                              ~details:[ ("clause", T.to_string clause) ]
+                              "transformation '%s' bound its loop indices \
+                               and was applied"
+                              (T.to_string clause);
+                            snap ~note:(T.to_string clause) body';
+                            go body' rest)
+                  in
+                  Result.map
+                    (fun b ->
+                      if
+                        List.exists
+                          (function T.Vectorize _ -> true | _ -> false)
+                          ts
+                      then T.hoist_splats b
+                      else b)
+                    (go body ts)
+                in
+                match apply_clauses payload with
+                | Ok stmts' -> Some (Cir.Ir.fold_deep stmts')
+                | Error msg -> (
+                    (* The §V error check: indices must name generated
+                       loops.  But if the script binds against a
+                       For-demoted copy of the nest, the programmer's
+                       indices were fine — it is auto-parallelization's
+                       ParFor header that broke the pattern
+                       (tile/interchange need a perfect For nest).  That
+                       is a scheduling conflict, not a user error: keep
+                       the auto-parallelized, untransformed loops and say
+                       so with a warning instead of failing the build. *)
+                    match
+                      if ctx.Cir.Pass.auto_par_ran then
+                        T.apply_all ts (demote_parfors payload)
+                      else Error msg
+                    with
+                    | Ok _ ->
+                        let r = skip_remark ~span msg in
+                        Support.Remark.record r;
+                        ctx.Cir.Pass.warn (Support.Remark.to_diag r);
+                        Some (Cir.Ir.fold_deep payload)
+                    | Error _ -> Cir.Pass.err span "%s" msg))
+            | _ -> None)
+          p);
   }
 
 (* --- AG metadata ------------------------------------------------------------------------ *)

@@ -436,6 +436,11 @@ and exec (ctx : ctx) (env : env) (s : stmt) : unit =
               (fun () -> List.iter (exec ctx env) b)
           end
           else List.iter (exec ctx env) b)
+  | Site (_, b) ->
+      (* Decision wrapper, not a scope: the payload runs in the current
+         environment.  Only reachable when interpreting intermediate IR —
+         a finished pipeline leaves no [Site] nodes behind. *)
+      List.iter (exec ctx env) b
 
 and sync root =
   (* join in spawn order; propagate the first child exception *)

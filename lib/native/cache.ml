@@ -26,18 +26,24 @@ let export_gauges () =
     this exact (program, runtime, compiler configuration) triple compiles
     to.  Instrumented builds link the profiling runtime too, so the flag
     and the mm_prof sources join the digest: a profiled and an unprofiled
-    run of the same program occupy distinct cache slots. *)
-let key ~(toolchain : Toolchain.t) ?(instrument = false) (c_text : string) =
+    run of the same program occupy distinct cache slots.  [pipeline] is
+    the canonical pass-pipeline string the C was generated under;
+    differently-configured pipelines never share a slot even if they
+    happen to emit the same text today ([""], the default, keeps
+    pre-pipeline digests valid). *)
+let key ~(toolchain : Toolchain.t) ?(instrument = false) ?(pipeline = "")
+    (c_text : string) =
   let prof_part =
     if instrument then
       [ "instrument"; Runtime_c.prof_header; Runtime_c.prof_impl ]
     else []
   in
+  let pipeline_part = if pipeline = "" then [] else [ "pipeline"; pipeline ] in
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
           ([ c_text; Runtime_c.header; Runtime_c.impl; toolchain.Toolchain.cc ]
-          @ prof_part
+          @ prof_part @ pipeline_part
           @ Toolchain.flags toolchain)))
 
 let ensure_dir dir =

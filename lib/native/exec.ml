@@ -403,13 +403,14 @@ let remove_if_exists path =
     [native.signal] / [native.timeout]. *)
 let run ?cc ?(cflags = []) ?(cache = true) ?(cache_dir = Cache.default_dir)
     ?keep_c ?(instrument = false) ?(threads = 1) ?sanitize ?failpoints
-    ?timeout_s ?max_bytes ~dir (c_text : string) : (outcome, error) result =
+    ?timeout_s ?max_bytes ?pipeline ~dir (c_text : string) :
+    (outcome, error) result =
   match Toolchain.probe ?cc ~cflags ?sanitize () with
   | Error e -> Error (Toolchain_error e)
   | Ok tc -> (
       Support.Telemetry.set_gauge "native.openmp" (if tc.openmp then 1. else 0.);
       keep_c_sources ~keep_c ~instrument c_text;
-      let k = Cache.key ~toolchain:tc ~instrument c_text in
+      let k = Cache.key ~toolchain:tc ~instrument ?pipeline c_text in
       let cached = if cache then Cache.lookup ~dir:cache_dir k else None in
       let compiled =
         match cached with

@@ -49,6 +49,8 @@ let mean_prog ~par =
           f_params = [ (CMat (Nd.EFloat, 3), "mat") ];
           f_ret = CMat (Nd.EFloat, 2);
           f_body = mean_body ~par;
+          f_span = None;
+          f_origin = None;
         };
       ];
     main = "temporal_mean";

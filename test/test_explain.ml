@@ -51,9 +51,10 @@ int main() {
 let skip_src =
   Eddy.Programs.fig9_with_script "interchange i, j"
 
-let explain ?fuse ?copy_elim ?auto_par ?dump_passes ?ir_diff ?warn src =
-  Driver.explain ?fuse ?copy_elim ?auto_par ?dump_passes ?ir_diff ?warn all4
-    src
+let explain ?fuse ?copy_elim ?(auto_par = true) ?dump_passes ?ir_diff ?warn src
+    =
+  let config = Driver.config_of_flags ?fuse ?copy_elim ~auto_par all4 in
+  Driver.explain ~config ?dump_passes ?ir_diff ?warn all4 src
 
 let explain_ok ?fuse ?copy_elim ?auto_par ?dump_passes ?ir_diff ?warn src =
   match explain ?fuse ?copy_elim ?auto_par ?dump_passes ?ir_diff ?warn src with

@@ -14,6 +14,7 @@ let () =
       ("kernels", Test_kernels.suite);
       ("profile", Test_profile.suite);
       ("explain", Test_explain.suite);
+      ("golden", Test_golden.suite);
       ("faults", Test_faults.suite);
       ("native", Test_native.suite);
       ("native_profile", Test_native_profile.suite);

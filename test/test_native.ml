@@ -64,7 +64,11 @@ let differential ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
     inputs;
   Runtime.Rc.reset ();
   let run_interp pool =
-    match Driver.run ~dir:dir_i ~fuse ~copy_elim ~auto_par ?pool full src [] with
+    match
+      Driver.run ~dir:dir_i
+        ~config:(Driver.config_of_flags ~fuse ~copy_elim ~auto_par full)
+        ?pool full src []
+    with
     | Driver.Ok_ v -> v
     | Driver.Failed ds ->
         Alcotest.failf "%s: interp failed: %s" name (Driver.diags_to_string ds)
@@ -77,7 +81,9 @@ let differential ?(fuse = true) ?(copy_elim = true) ?(auto_par = false)
   let ilive = Runtime.Rc.live_count () in
   let nv =
     match
-      Driver.exec ~dir:dir_n ~fuse ~copy_elim ~auto_par ~threads ~cflags
+      Driver.exec ~dir:dir_n
+        ~config:(Driver.config_of_flags ~fuse ~copy_elim ~auto_par full)
+        ~threads ~cflags
         ~cache_dir:(Lazy.force suite_cache) full src
     with
     | Driver.Ok_ o -> o

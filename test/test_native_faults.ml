@@ -405,7 +405,8 @@ let test_native_fault_matrix () =
     let dir = fresh_dir () in
     Interp.Eval.provide_input ~dir "ssh.data" cube;
     match
-      Driver.exec ~dir ~auto_par:true ~threads ~guards ?failpoints
+      Driver.exec ~dir ~config:(Driver.config_of_flags ~auto_par:true full)
+        ~threads ~guards ?failpoints
         ~cache_dir:(Lazy.force suite_cache) full src
     with
     | Driver.Ok_ _ -> Ok (Interp.Eval.fetch_output ~dir "means.data")
@@ -472,7 +473,8 @@ let test_eddy_degraded_native_acceptance () =
     Interp.Eval.provide_input ~dir "ssh.data" cube;
     Interp.Eval.provide_input ~dir "dates.data" dates;
     match
-      Driver.exec ~dir ~auto_par:true ~threads ?failpoints
+      Driver.exec ~dir ~config:(Driver.config_of_flags ~auto_par:true full)
+        ~threads ?failpoints
         ~cache_dir:(Lazy.force suite_cache) full src
     with
     | Driver.Ok_ _ -> Interp.Eval.fetch_output ~dir "eddyLabels.data"

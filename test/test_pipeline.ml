@@ -23,8 +23,10 @@ let fresh_dir () =
   Sys.mkdir d 0o755;
   d
 
-let run_ok ?(c = full) ?dir ?pool ?fuse ?auto_par ?optimize src =
-  match Driver.run ?dir ?pool ?fuse ?auto_par ?optimize c src [] with
+let run_ok ?(c = full) ?dir ?pool ?(fuse = true) ?(auto_par = false) ?optimize
+    src =
+  let config = Driver.config_of_flags ~fuse ~auto_par c in
+  match Driver.run ?dir ?pool ~config ?optimize c src [] with
   | Driver.Ok_ v -> v
   | Driver.Failed ds -> Alcotest.failf "pipeline failed: %s" (Driver.diags_to_string ds)
 

@@ -188,7 +188,10 @@ let copy_elim_src =
 let test_copy_elim_changes_emitted_c () =
   let c = Driver.compose [ Driver.matrix ] in
   let emit ~copy_elim =
-    match Driver.compile_to_c ~copy_elim c copy_elim_src with
+    match
+      Driver.compile_to_c ~config:(Driver.config_of_flags ~copy_elim c) c
+        copy_elim_src
+    with
     | Driver.Ok_ text -> text
     | Driver.Failed ds ->
         Alcotest.failf "emit failed: %s" (Driver.diags_to_string ds)
@@ -199,7 +202,10 @@ let test_copy_elim_changes_emitted_c () =
     (with_elim <> without_elim);
   (* the program only reads through the alias, so both must agree *)
   let run ~copy_elim =
-    match Driver.run ~copy_elim c copy_elim_src [] with
+    match
+      Driver.run ~config:(Driver.config_of_flags ~copy_elim c) c copy_elim_src
+        []
+    with
     | Driver.Ok_ (Interp.Eval.VScal (Runtime.Scalar.I n)) -> n
     | Driver.Ok_ v -> Alcotest.failf "unexpected result %a" Interp.Eval.pp_value v
     | Driver.Failed ds ->
@@ -211,7 +217,10 @@ let test_copy_elim_changes_emitted_c () =
 let test_copy_elim_skips_allocation () =
   with_telemetry @@ fun () ->
   let c = Driver.compose [ Driver.matrix ] in
-  (match Driver.run ~copy_elim:true c copy_elim_src [] with
+  (match
+     Driver.run ~config:(Driver.config_of_flags ~copy_elim:true c) c
+       copy_elim_src []
+   with
   | Driver.Ok_ _ -> ()
   | Driver.Failed ds ->
       Alcotest.failf "run failed: %s" (Driver.diags_to_string ds));
@@ -228,7 +237,7 @@ let test_copy_elim_skips_allocation () =
 
 let run_int ~copy_elim src =
   let c = Driver.compose [ Driver.matrix ] in
-  match Driver.run ~copy_elim c src [] with
+  match Driver.run ~config:(Driver.config_of_flags ~copy_elim c) c src [] with
   | Driver.Ok_ (Interp.Eval.VScal (Runtime.Scalar.I n)) -> n
   | Driver.Ok_ v -> Alcotest.failf "unexpected result %a" Interp.Eval.pp_value v
   | Driver.Failed ds ->
